@@ -1,0 +1,17 @@
+"""E10 — hub index size.
+
+The index stores k cost entries per reachable vertex (2k on directed
+graphs): linear in |V| and in k, the modest-memory-overhead argument.
+"""
+
+from benchmarks.conftest import run_rows
+from repro.bench.experiments import run_e10_memory
+
+
+def test_e10_index_size(benchmark):
+    rows = run_rows(
+        benchmark, run_e10_memory, "E10 — index size vs k and graph scale",
+        hub_counts=(4, 16, 64), scales=(0.5, 1.0, 2.0),
+    )
+    for row in rows:
+        assert row["entries"] == row["k"] * row["|V|"]

@@ -1,0 +1,24 @@
+"""E11 (ablation) — bound tightness by hub strategy and count.
+
+The mechanism behind every pruning result: the fraction of query pairs
+whose lower and upper bounds coincide, and the gap-ratio distribution of
+the rest.  Degree hubs dominate on skewed graphs; spread-out hubs are
+required on flat road topologies.
+"""
+
+from benchmarks.conftest import run_rows
+from repro.bench.experiments import run_e11_bound_tightness
+
+
+def test_e11_bound_tightness(benchmark):
+    rows = run_rows(
+        benchmark, run_e11_bound_tightness,
+        "E11 — bound tightness ablation", num_pairs=32,
+    )
+    social = {(r["strategy"], r["k"]): r for r in rows
+              if r["dataset"] == "social-pl"}
+    # More degree hubs never loosen the median gap on the skewed graph.
+    assert social[("degree", 64)]["gap_p50"] <= social[("degree", 4)]["gap_p50"]
+    road = {(r["strategy"], r["k"]): r for r in rows
+            if r["dataset"] == "road-grid"}
+    assert road[("far-apart", 16)]["gap_p50"] <= road[("degree", 16)]["gap_p50"]

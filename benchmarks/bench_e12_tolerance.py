@@ -1,0 +1,22 @@
+"""E12 (extension) — bounded-error approximation trade-off.
+
+Sweeping the allowed error factor: a growing share of queries closes
+straight from the index bounds and the surviving searches prune harder,
+while the *actual* error stays within the requested bound (and is usually
+far smaller).
+"""
+
+from benchmarks.conftest import run_rows
+from repro.bench.experiments import run_e12_tolerance
+
+
+def test_e12_tolerance_tradeoff(benchmark):
+    rows = run_rows(
+        benchmark, run_e12_tolerance, "E12 — approximation trade-off",
+        tolerances=(0.0, 0.25, 0.5, 1.0), num_pairs=16,
+    )
+    acts = [r["act/query"] for r in rows]
+    assert acts == sorted(acts, reverse=True)  # monotone work reduction
+    for row in rows:
+        assert row["worst_err%"] <= 100.0 * row["tolerance"] + 1e-6
+    assert rows[-1]["index-only%"] > rows[0]["index-only%"]

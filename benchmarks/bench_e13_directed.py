@@ -1,0 +1,18 @@
+"""E13 (extension) — directed graphs.
+
+Exercises the dual forward/backward hub tables and the lower bound's
+unreachability proofs: on a directed web proxy many pairs have no path at
+all, and SGraph answers those from the index with zero traversal while the
+baselines must exhaust a component to conclude the same.
+"""
+
+from benchmarks.conftest import run_rows
+from repro.bench.experiments import run_e13_directed
+
+
+def test_e13_directed(benchmark):
+    rows = run_rows(benchmark, run_e13_directed,
+                    "E13 — directed web proxy", num_pairs=16)
+    by_engine = {r["engine"]: r for r in rows}
+    assert by_engine["sgraph"]["act/query"] < by_engine["none"]["act/query"]
+    assert by_engine["sgraph"]["index-only%"] > 0

@@ -1,0 +1,20 @@
+"""E14 (extension) — one-to-many amortization.
+
+A recommendation-style workload asks one source against many targets;
+the shared search answers the whole set at a fraction of the per-target
+activation cost, with the saving growing in the target count.
+"""
+
+from benchmarks.conftest import run_rows
+from repro.bench.experiments import run_e14_one_to_many
+
+
+def test_e14_one_to_many(benchmark):
+    rows = run_rows(benchmark, run_e14_one_to_many,
+                    "E14 — one-to-many amortization",
+                    target_counts=(1, 4, 16, 64))
+    # At large target sets the shared search must activate fewer vertices
+    # than the per-target loop.
+    assert rows[-1]["many_act"] < rows[-1]["singles_act"]
+    savings = [r["act_saving"] for r in rows]
+    assert savings[-1] >= savings[0]

@@ -1,0 +1,21 @@
+"""E15 (extension) — adaptive per-query strategy selection.
+
+The adaptive engine reads each query's own bound gap and dispatches to
+pruned or plain search, tracking the better fixed strategy on every
+topology instead of committing to one globally.
+"""
+
+from benchmarks.conftest import run_rows
+from repro.bench.experiments import run_e15_adaptive
+
+
+def test_e15_adaptive(benchmark):
+    rows = run_rows(benchmark, run_e15_adaptive,
+                    "E15 — adaptive dispatch", num_pairs=20)
+    for dataset in ("social-pl", "collab-sw", "road-grid"):
+        sub = {r["engine"]: r["mean_ms"] for r in rows
+               if r["dataset"] == dataset}
+        best_fixed = min(sub["always-pruned"], sub["always-plain"])
+        # Adaptive must stay within 2x of the better fixed strategy (it
+        # pays one bound evaluation per query for the dispatch decision).
+        assert sub["adaptive"] <= 2.0 * best_fixed + 0.2

@@ -1,0 +1,15 @@
+"""E16 (extension) — the multiplicative (most-reliable-path) algebra.
+
+Same index, same search, third semiring: pruning effectiveness carries
+over to probability-product path queries on a sensor-mesh proxy.
+"""
+
+from benchmarks.conftest import run_rows
+from repro.bench.experiments import run_e16_reliability
+
+
+def test_e16_reliability(benchmark):
+    rows = run_rows(benchmark, run_e16_reliability,
+                    "E16 — most-reliable-path queries", num_pairs=16)
+    by_engine = {r["engine"]: r for r in rows}
+    assert by_engine["sgraph"]["act/query"] < by_engine["none"]["act/query"]

@@ -1,0 +1,18 @@
+"""E17 (extension) — epoch-guarded query cache under skewed workloads.
+
+Serving workloads re-ask hot pairs between updates; the cache exploits the
+epoch counter for free, airtight invalidation.  Hit rate rises with query
+skew and falls with update frequency.
+"""
+
+from benchmarks.conftest import run_rows
+from repro.bench.experiments import run_e17_cache
+
+
+def test_e17_cache(benchmark):
+    rows = run_rows(benchmark, run_e17_cache,
+                    "E17 — epoch-guarded result cache", num_queries=200)
+    by_skew = {r["query_skew"]: r for r in rows}
+    skews = sorted(by_skew)
+    # Heavier skew means more repeats, hence a higher hit rate.
+    assert by_skew[skews[-1]]["hit%"] > by_skew[skews[0]]["hit%"]

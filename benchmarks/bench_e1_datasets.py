@@ -1,0 +1,14 @@
+"""E1 — dataset table (the paper's evaluation-setup table).
+
+Prints |V|, |E|, degree statistics, estimated diameter, and component
+structure for every dataset proxy, with the paper-scale graph each one
+stands in for.
+"""
+
+from benchmarks.conftest import run_rows
+from repro.bench.experiments import run_e1_datasets
+
+
+def test_e1_dataset_table(benchmark):
+    rows = run_rows(benchmark, run_e1_datasets, "E1 — dataset proxies")
+    assert len(rows) >= 5

@@ -1,0 +1,26 @@
+"""E2 — vertex activations per pruning policy (the headline figure).
+
+Claim reproduced: upper-bound-only pruning eliminates only about half of
+the activations of the unpruned propagation model, while lower-bound
+pruning (SGraph) activates on the order of 1% of the vertices.
+"""
+
+from benchmarks.conftest import run_rows
+from repro.bench.experiments import run_e2_activations
+
+
+def test_e2_activation_fractions(benchmark):
+    rows = run_rows(
+        benchmark, run_e2_activations,
+        "E2 — mean activation fraction by pruning policy",
+        num_pairs=16,
+    )
+    by_key = {(r["dataset"], r["engine"]): r["act%"] for r in rows}
+    for dataset in ("social-pl", "collab-sw"):
+        none = by_key[(dataset, "propagate/none")]
+        ub = by_key[(dataset, "propagate/upper-only")]
+        sg = by_key[(dataset, "sgraph (ordered)")]
+        assert ub < 0.8 * none, "UB pruning should remove a large share"
+        assert sg < 0.1 * none, "SGraph should activate a tiny fraction"
+    # The abstract's signature number: <1% activations on the social graph.
+    assert by_key[("social-pl", "sgraph (ordered)")] < 1.5

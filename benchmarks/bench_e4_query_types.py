@@ -1,0 +1,18 @@
+"""E4 — latency and activations across the pairwise query algebra.
+
+Distance, hop-count, reachability, and bottleneck queries through the
+SGraph facade.  Reachability (and often bottleneck) resolves purely from
+the index, which is the generality argument for the hub-bound technique.
+"""
+
+from benchmarks.conftest import run_rows
+from repro.bench.experiments import run_e4_query_types
+
+
+def test_e4_query_type_table(benchmark):
+    rows = run_rows(
+        benchmark, run_e4_query_types, "E4 — query kinds via the facade",
+        num_pairs=16,
+    )
+    reach = [r for r in rows if r["query"] == "reachability"]
+    assert all(r["index-only%"] == 100.0 for r in reach)

@@ -1,0 +1,21 @@
+"""E6 — incremental index maintenance vs full rebuild.
+
+Claim reproduced: repairing the hub trees per update batch is orders of
+magnitude cheaper than rebuilding, converging toward rebuild cost only for
+very large batches — the justification for SGraph's incremental design.
+"""
+
+from benchmarks.conftest import run_rows
+from repro.bench.experiments import run_e6_maintenance
+
+
+def test_e6_maintenance_cost(benchmark):
+    rows = run_rows(
+        benchmark, run_e6_maintenance,
+        "E6 — per-batch maintenance: incremental vs rebuild",
+        batch_sizes=(1, 10, 100, 1000),
+    )
+    assert all(row["speedup"] > 1.0 for row in rows)
+    speedups = [row["speedup"] for row in rows]
+    assert speedups[0] > 100  # single updates: huge win
+    assert speedups == sorted(speedups, reverse=True)

@@ -1,0 +1,23 @@
+"""E7 — hub-count and hub-selection sensitivity (ablation).
+
+More hubs tighten bounds monotonically on skewed graphs; on road-like
+topologies the *placement* strategy dominates the count — degree hubs are
+near-useless on bounded-degree lattices while spread-out hubs recover the
+pruning power.
+"""
+
+from benchmarks.conftest import run_rows
+from repro.bench.experiments import run_e7_hubs
+
+
+def test_e7_hub_sensitivity(benchmark):
+    rows = run_rows(
+        benchmark, run_e7_hubs, "E7 — hub count / strategy ablation",
+        hub_counts=(1, 4, 16, 32), num_pairs=16,
+    )
+    social = {r["k"]: r["act%"] for r in rows
+              if r["dataset"] == "social-pl" and r["strategy"] == "degree"}
+    assert social[32] <= social[1]
+    road = {r["strategy"]: r["act%"] for r in rows
+            if r["dataset"] == "road-grid" and r["k"] == 16}
+    assert road["far-apart"] < road["degree"]

@@ -1,0 +1,23 @@
+"""E8 — query latency under concurrent update load.
+
+Claim reproduced: query latency stays flat (sub-second with enormous
+headroom at this scale) while the scheduler pushes increasingly heavy
+update batches between query rounds — the "simultaneously ingest and
+answer" property, modelled as deterministic epoch interleaving.
+"""
+
+from benchmarks.conftest import run_rows
+from repro.bench.experiments import run_e8_concurrent
+
+
+def test_e8_concurrent_load(benchmark):
+    rows = run_rows(
+        benchmark, run_e8_concurrent,
+        "E8 — query latency vs concurrent update rate",
+        update_rates=(10, 100, 500), rounds=8, queries_per_round=8,
+    )
+    # Query latency must not blow up with update rate (allow 5x headroom).
+    latencies = [r["q_mean_ms"] for r in rows]
+    assert max(latencies) < 5 * max(min(latencies), 0.01)
+    # Every query observed a sub-second answer.
+    assert all(r["q_p99_ms"] < 1000 for r in rows)

@@ -1,0 +1,25 @@
+"""E9 — crossover against continuous per-query maintenance.
+
+The streaming-engine trade: maintaining answers per registered query source
+wins only while the query working set is tiny; its update cost scales with
+the number of sources, while SGraph's index maintenance is independent of
+it.  The table sweeps the source count and reports the total-cost winner.
+"""
+
+from benchmarks.conftest import run_rows
+from repro.bench.experiments import run_e9_crossover
+
+
+def test_e9_crossover(benchmark):
+    rows = run_rows(
+        benchmark, run_e9_crossover,
+        "E9 — SGraph vs continuous maintenance (total cost)",
+        source_counts=(1, 4, 16, 64), num_updates=300, num_queries=150,
+    )
+    assert rows[0]["winner"] == "continuous"  # one source: lookup engine wins
+    # SGraph's total cost must stay roughly flat across source counts...
+    sg = [r["sgraph_total_ms"] for r in rows]
+    assert max(sg) < 3 * min(sg)
+    # ...while the continuous engine's grows with the working set.
+    cont = [r["continuous_total_ms"] for r in rows]
+    assert cont[-1] > 5 * cont[0]

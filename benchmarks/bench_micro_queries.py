@@ -1,0 +1,83 @@
+"""Micro-benchmarks: single-query latency per engine under pytest-benchmark.
+
+Unlike the table generators, these use the benchmark fixture's statistical
+machinery directly (many rounds of a single query batch), so relative
+engine cost shows up in pytest-benchmark's own comparison table.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines.dijkstra import bidirectional_dijkstra, dijkstra_distance
+from repro.bench.workloads import build_workload
+from repro.core.engine import PairwiseEngine
+from repro.core.pruning import PruningPolicy
+
+
+@pytest.fixture(scope="module")
+def workload():
+    return build_workload("social-pl", num_pairs=8, num_hubs=16)
+
+
+def _run_batch(query_fn, pairs):
+    total = 0.0
+    for s, t in pairs:
+        value, _stats = query_fn(s, t)
+        total += 0.0 if value == float("inf") else value
+    return total
+
+
+def test_query_batch_dijkstra(benchmark, workload):
+    benchmark(
+        _run_batch,
+        lambda s, t: dijkstra_distance(workload.graph, s, t),
+        workload.pairs,
+    )
+
+
+def test_query_batch_bidirectional(benchmark, workload):
+    benchmark(
+        _run_batch,
+        lambda s, t: bidirectional_dijkstra(workload.graph, s, t),
+        workload.pairs,
+    )
+
+
+def test_query_batch_upper_only(benchmark, workload):
+    engine = PairwiseEngine(workload.graph, index=workload.index,
+                            policy=PruningPolicy.UPPER_ONLY)
+    benchmark(_run_batch, engine.best_cost, workload.pairs)
+
+
+def test_query_batch_sgraph(benchmark, workload):
+    engine = PairwiseEngine(workload.graph, index=workload.index,
+                            policy=PruningPolicy.UPPER_AND_LOWER)
+    benchmark(_run_batch, engine.best_cost, workload.pairs)
+
+
+def test_index_build(benchmark, workload):
+    from repro.core.hub_index import HubIndex
+
+    benchmark.pedantic(
+        lambda: HubIndex.build(workload.graph, 16),
+        rounds=2, iterations=1, warmup_rounds=0,
+    )
+
+
+def test_single_update_maintenance(benchmark, workload):
+    """Cost of one insert+delete round-trip through index maintenance."""
+    index = workload.index
+    graph = workload.graph
+
+    def one_roundtrip():
+        graph.add_edge(0, 1, 2.5)
+        index.notify_edge_inserted(0, 1, 2.5)
+        graph.remove_edge(0, 1)
+        index.notify_edge_deleted(0, 1, 2.5)
+
+    if graph.has_edge(0, 1):
+        w = graph.edge_weight(0, 1)
+        graph.remove_edge(0, 1)
+        index.notify_edge_deleted(0, 1, w)
+    benchmark(one_roundtrip)

@@ -1,0 +1,86 @@
+"""Analytics workflow: auto-tune, record a workload trace, replay it across
+configurations, and time-travel with versioned views.
+
+This example shows the operational surface around the core engine:
+
+1. ``auto_tune`` measures bound tightness on the target graph and picks the
+   hub configuration;
+2. a mixed update+query workload is recorded to a trace file, making the
+   benchmark bit-reproducible;
+3. the trace is replayed under the tuned config and under upper-bound-only
+   pruning — identical answers, very different work;
+4. a :class:`VersionedStore` publishes epochs mid-stream so an analyst can
+   query "as of" an earlier version after the graph has moved on.
+
+Run with::
+
+    python examples/analytics_replay.py
+"""
+
+import tempfile
+from pathlib import Path
+
+from repro import SGraph, SGraphConfig
+from repro.bench.trace import interleave, read_trace, replay_trace, write_trace
+from repro.core.pairwise import QueryKind
+from repro.core.tuning import auto_tune
+from repro.graph.generators import power_law_graph
+from repro.graph.stats import sample_vertex_pairs
+from repro.streaming.versioning import VersionedStore
+from repro.streaming.workload import sliding_window_stream
+
+
+def main() -> None:
+    graph = power_law_graph(2000, 4, seed=51, weight_range=(1.0, 4.0))
+
+    # 1. tune ---------------------------------------------------------------
+    tuning = auto_tune(graph, hub_budgets=(4, 8, 16), num_pairs=16, seed=52)
+    cfg = tuning.config
+    print(f"auto-tune chose strategy={cfg.hub_strategy} k={cfg.num_hubs} "
+          f"(median bound gap {tuning.chosen.gap_p50:.2f}x)")
+
+    # 2. record -------------------------------------------------------------
+    pairs = sample_vertex_pairs(graph, 12, seed=53, min_hops=2)
+    queries = [(QueryKind.DISTANCE, s, t) for s, t in pairs]
+    updates = list(sliding_window_stream(graph, 300, seed=54))
+    events = interleave(updates, queries, updates_per_query=25)
+    trace_path = Path(tempfile.mkdtemp()) / "workload.trace"
+    write_trace(trace_path, events)
+    print(f"recorded {len(events)} events to {trace_path}")
+
+    # 3. replay under two configurations -------------------------------------
+    for label, config in (
+        ("tuned sgraph", cfg),
+        ("upper-only", SGraphConfig(num_hubs=cfg.num_hubs,
+                                    hub_strategy=cfg.hub_strategy,
+                                    policy="upper-only")),
+    ):
+        sg = SGraph(graph=power_law_graph(2000, 4, seed=51,
+                                          weight_range=(1.0, 4.0)),
+                    config=config)
+        report = replay_trace(sg, read_trace(trace_path))
+        agg = report.query_stats
+        print(f"  {label:13s}: {report.queries_answered} queries, "
+              f"mean {1e3 * agg.mean_elapsed:.3f} ms, "
+              f"{agg.mean_activations:.1f} activations/query")
+
+    # 4. time travel ---------------------------------------------------------
+    sg = SGraph(graph=power_law_graph(2000, 4, seed=51,
+                                      weight_range=(1.0, 4.0)), config=cfg)
+    sg.rebuild_indexes()
+    store = VersionedStore(sg, capacity=4)
+    s, t = pairs[0]
+    v0 = store.publish(label="before")
+    for update in sliding_window_stream(sg.graph, 200, seed=55):
+        sg.apply_update(update)
+    sg.add_edge(s, t, 1.0)  # a shortcut appears after the first version
+    v1 = store.publish(label="after")
+    print(f"\ndistance({s}, {t}) as of {v0.label!r} (epoch {v0.epoch}): "
+          f"{v0.distance(s, t).value:.2f}")
+    print(f"distance({s}, {t}) as of {v1.label!r} (epoch {v1.epoch}): "
+          f"{v1.distance(s, t).value:.2f}")
+    print(f"live answer now: {sg.distance(s, t).value:.2f}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,45 @@
+"""Quickstart: build an SGraph, evolve it, and ask pairwise queries.
+
+Run with::
+
+    python examples/quickstart.py
+"""
+
+from repro import EdgeUpdate, SGraph, SGraphConfig
+
+
+def main() -> None:
+    # A small weighted social graph: edges are (user, user, closeness cost).
+    sg = SGraph.from_edges(
+        [
+            ("alice", "bob", 1.0),
+            ("bob", "carol", 2.0),
+            ("carol", "dave", 1.0),
+            ("alice", "erin", 4.0),
+            ("erin", "dave", 1.0),
+        ],
+        config=SGraphConfig(num_hubs=2, queries=("distance", "hops",
+                                                 "capacity")),
+    )
+
+    result = sg.distance("alice", "dave")
+    print(f"distance(alice, dave) = {result.value}  "
+          f"(activated {result.stats.activations} vertices)")
+
+    print(f"hops(alice, dave)     = {sg.hop_distance('alice', 'dave').hops}")
+    print(f"reachable(alice, dave) = {bool(sg.reachable('alice', 'dave').value)}")
+    print(f"widest(alice, dave)   = {sg.bottleneck('alice', 'dave').capacity}")
+
+    # The graph evolves: a new shortcut appears, an old tie disappears.
+    sg.apply([
+        EdgeUpdate.insert("alice", "dave", 1.5),
+        EdgeUpdate.delete("bob", "carol"),
+    ])
+    print("\nafter updates:")
+    print(f"distance(alice, dave) = {sg.distance('alice', 'dave').value}")
+    print(f"distance(alice, carol) = {sg.distance('alice', 'carol').value}")
+    print(f"graph epoch = {sg.epoch}, |E| = {sg.num_edges}")
+
+
+if __name__ == "__main__":
+    main()

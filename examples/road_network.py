@@ -1,0 +1,66 @@
+"""Road-network scenario: route-cost queries under live traffic updates.
+
+A navigation backend answers "cheapest travel cost from A to B" while
+incidents change edge costs and road closures delete edges.  Road
+topologies are the hard case for hub bounds — degrees are flat, so hub
+*placement* matters (the facade is configured with the far-apart strategy;
+see experiment E7 for the ablation).  The script also demonstrates
+bottleneck queries: "widest vehicle that can travel A→B" when weights are
+read as clearance limits.
+
+Run with::
+
+    python examples/road_network.py
+"""
+
+import random
+
+from repro import SGraph, SGraphConfig
+from repro.graph.generators import grid_graph
+from repro.graph.stats import sample_vertex_pairs
+
+
+def main() -> None:
+    graph = grid_graph(48, 48, seed=31, weight_range=(1.0, 10.0),
+                       diagonal_fraction=0.15)
+    print(f"road grid: {graph.num_vertices} intersections, "
+          f"{graph.num_edges} segments")
+
+    sg = SGraph(
+        graph=graph,
+        config=SGraphConfig(num_hubs=16, hub_strategy="far-apart",
+                            queries=("distance", "capacity")),
+    )
+    sg.rebuild_indexes()
+    routes = sample_vertex_pairs(graph, 6, seed=32, min_hops=20)
+
+    print("\ninitial route costs:")
+    for s, t in routes:
+        result = sg.distance(s, t)
+        print(f"  route {s:>4} -> {t:>4}: cost {result.value:7.2f}  "
+              f"({result.stats.activations} activated)")
+
+    # Traffic: random incidents slow segments; a few closures remove them.
+    rng = random.Random(33)
+    edges = list(graph.edges())
+    incidents = rng.sample(edges, 40)
+    for s, t, w in incidents[:30]:
+        sg.add_edge(s, t, w * rng.uniform(2.0, 5.0))  # congestion
+    for s, t, _w in incidents[30:]:
+        sg.discard_edge(s, t)  # closure
+    print("\nafter 30 congestion incidents and 10 closures:")
+    for s, t in routes:
+        result = sg.distance(s, t)
+        cost = f"{result.value:7.2f}" if result.reachable else "   no route"
+        print(f"  route {s:>4} -> {t:>4}: cost {cost}")
+
+    # Clearance queries: weights re-read as clearance, maximize the minimum.
+    s, t = routes[0]
+    clearance = sg.bottleneck(s, t)
+    print(f"\nwidest clearance {s} -> {t}: {clearance.value:.2f} "
+          f"({clearance.stats.activations} activated"
+          f"{', from index' if clearance.stats.answered_by_index else ''})")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,11 @@
+"""Setuptools shim.
+
+The evaluation environment has no network and no ``wheel`` package, so PEP
+517 editable installs fail at the ``bdist_wheel`` step.  This shim lets
+``pip install -e . --no-build-isolation`` fall back to the legacy
+``setup.py develop`` path, which works offline.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,54 @@
+"""The exhaustive-recompute comparator.
+
+Models the analytic-engine strawman the paper's introduction motivates
+against: a system with no pairwise specialization answers a point query by
+computing a full single-source pass over the connected component (it "can
+only be answered after accessing every connected vertex"), rescanning from
+scratch at whatever epoch the query arrives.
+"""
+
+from __future__ import annotations
+
+import math
+import time
+
+from repro.baselines.dijkstra import full_sssp
+from repro.core.pairwise import QueryKind, QueryResult
+
+
+class RecomputeEngine:
+    """Per-query full SSSP; the latency yardstick for E3's slow end."""
+
+    def __init__(self, graph) -> None:
+        self._graph = graph
+
+    # The engine keeps no state, so graph updates need no notification.
+    def notify_edge_inserted(self, src: int, dst: int, weight: float) -> None:
+        pass
+
+    def notify_edge_deleted(self, src: int, dst: int, old_weight: float) -> None:
+        pass
+
+    settled_last_update = 0
+
+    def distance(self, source: int, target: int) -> QueryResult:
+        start = time.perf_counter()
+        dist, stats = full_sssp(self._graph, source)
+        stats.elapsed = time.perf_counter() - start
+        return QueryResult(
+            kind=QueryKind.DISTANCE,
+            source=source,
+            target=target,
+            value=dist.get(target, math.inf),
+            stats=stats,
+        )
+
+    def reachable(self, source: int, target: int) -> QueryResult:
+        result = self.distance(source, target)
+        return QueryResult(
+            kind=QueryKind.REACHABILITY,
+            source=source,
+            target=target,
+            value=1.0 if result.value != math.inf else 0.0,
+            stats=result.stats,
+        )

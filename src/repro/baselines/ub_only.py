@@ -1,0 +1,89 @@
+"""The upper-bound-only comparator (Tripoline-style).
+
+This models the class of systems the paper characterizes as "existing
+upper-bound-only pruning techniques": a triangle-inequality hub index is
+maintained over the evolving graph, but it is used *only* to seed an upper
+bound on the query answer — there is no per-vertex lower-bound test.  The
+abstract reports this class pruning "about half of the vertex activations".
+
+The engine shares the search routine and the index machinery with SGraph
+(policy ``UPPER_ONLY``), so the only difference measured in E2/E3 is the
+pruning rule itself — exactly the paper's ablation.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Optional
+
+from repro.core.engine import PairwiseEngine
+from repro.core.hub_index import HubIndex
+from repro.core.pairwise import QueryKind, QueryResult
+from repro.core.pruning import PruningPolicy
+from repro.core.semiring import SHORTEST_DISTANCE, PathSemiring
+
+
+class UpperBoundOnlyEngine:
+    """Evolving-graph pairwise engine with upper-bound-only pruning.
+
+    Implements the :class:`~repro.streaming.ingest.IndexListener` protocol,
+    so it can sit next to an SGraph instance behind one
+    :class:`~repro.streaming.ingest.IngestEngine` and see the same updates.
+    """
+
+    def __init__(
+        self,
+        graph,
+        num_hubs: int = 16,
+        hub_strategy: str = "degree",
+        seed: int = 0,
+        semiring: PathSemiring = SHORTEST_DISTANCE,
+    ) -> None:
+        self._graph = graph
+        self._index = HubIndex.build(
+            graph, num_hubs, strategy=hub_strategy, seed=seed, semiring=semiring
+        )
+        self._engine = PairwiseEngine(
+            graph, index=self._index, policy=PruningPolicy.UPPER_ONLY
+        )
+        self.settled_last_update = 0
+
+    @property
+    def index(self) -> HubIndex:
+        return self._index
+
+    # -- IndexListener protocol ------------------------------------------------
+
+    def notify_edge_inserted(self, src: int, dst: int, weight: float) -> None:
+        self._index.notify_edge_inserted(src, dst, weight)
+        self.settled_last_update = self._index.settled_last_update
+
+    def notify_edge_deleted(self, src: int, dst: int, old_weight: float) -> None:
+        self._index.notify_edge_deleted(src, dst, old_weight)
+        self.settled_last_update = self._index.settled_last_update
+
+    # -- queries ------------------------------------------------------------------
+
+    def distance(self, source: int, target: int) -> QueryResult:
+        start = time.perf_counter()
+        value, stats = self._engine.best_cost(source, target)
+        stats.elapsed = time.perf_counter() - start
+        return QueryResult(
+            kind=QueryKind.DISTANCE,
+            source=source,
+            target=target,
+            value=value,
+            stats=stats,
+        )
+
+    def reachable(self, source: int, target: int) -> QueryResult:
+        start = time.perf_counter()
+        exists, stats = self._engine.feasible(source, target)
+        stats.elapsed = time.perf_counter() - start
+        return QueryResult(
+            kind=QueryKind.REACHABILITY,
+            source=source,
+            target=target,
+            value=1.0 if exists else 0.0,
+            stats=stats,
+        )

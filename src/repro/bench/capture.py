@@ -1,0 +1,26 @@
+"""Run-wide capture of reproduced experiment tables.
+
+The benchmark modules render each experiment's rows into a table here;
+the benchmarks' conftest flushes the buffer into pytest's terminal summary
+so the tables survive output capture.  Lives in the installed package (not
+in conftest) so there is exactly one buffer regardless of how the modules
+are imported.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.bench.report import format_table
+
+_TABLES: List[str] = []
+
+
+def record_table(rows, title: str) -> None:
+    _TABLES.append(format_table(rows, title=title))
+
+
+def drain_tables() -> List[str]:
+    tables = list(_TABLES)
+    _TABLES.clear()
+    return tables

@@ -1,0 +1,37 @@
+"""Runners that execute a query workload against an engine and aggregate."""
+
+from __future__ import annotations
+
+import time
+from typing import Callable, Sequence, Tuple
+
+from repro.core.stats import QueryStats, StatsAggregate
+
+
+def run_query_workload(
+    query_fn: Callable[[int, int], Tuple[float, QueryStats]],
+    pairs: Sequence[Tuple[int, int]],
+) -> StatsAggregate:
+    """Run ``query_fn`` over every pair, timing each call.
+
+    ``query_fn`` follows the engine convention of returning
+    ``(value, QueryStats)``; wrap facade methods with a small lambda that
+    unpacks :class:`~repro.core.pairwise.QueryResult`.
+    """
+    aggregate = StatsAggregate()
+    for source, target in pairs:
+        start = time.perf_counter()
+        _value, stats = query_fn(source, target)
+        stats.elapsed = time.perf_counter() - start
+        aggregate.add(stats)
+    return aggregate
+
+
+def time_callable(fn: Callable[[], object], repeat: int = 1) -> float:
+    """Mean wall-clock seconds of ``fn`` over ``repeat`` runs."""
+    if repeat < 1:
+        raise ValueError("repeat must be >= 1")
+    start = time.perf_counter()
+    for _ in range(repeat):
+        fn()
+    return (time.perf_counter() - start) / repeat

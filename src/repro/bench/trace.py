@@ -1,0 +1,169 @@
+"""Workload traces: record an interleaved update/query workload to a file
+and replay it deterministically.
+
+Benchmark reproducibility usually dies at "the workload was generated on
+the fly".  A trace pins the exact interleaving: a text file of update and
+query events that any SGraph configuration can replay, producing a
+:class:`ReplayReport` with per-query answers and aggregate statistics.
+Two replays of one trace against equal configurations are bit-identical,
+which the tests assert.
+
+Format (one event per line, ``#`` comments allowed)::
+
+    # repro-trace v1
+    I <src> <dst> <weight>     edge insert
+    D <src> <dst>              edge delete
+    Q <kind> <src> <dst>       pairwise query (distance|hops|reachability|bottleneck)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable, Iterator, List, Optional, Sequence, Tuple, Union
+
+from repro.core.pairwise import QueryKind
+from repro.core.stats import StatsAggregate
+from repro.errors import WorkloadError
+from repro.streaming.update import EdgeUpdate, UpdateKind
+
+HEADER = "# repro-trace v1"
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One trace line: either an update or a query."""
+
+    update: Optional[EdgeUpdate] = None
+    query: Optional[Tuple[QueryKind, int, int]] = None
+
+    def __post_init__(self) -> None:
+        if (self.update is None) == (self.query is None):
+            raise WorkloadError(
+                "a trace event is exactly one of update/query"
+            )
+
+    @classmethod
+    def of_update(cls, update: EdgeUpdate) -> "TraceEvent":
+        return cls(update=update)
+
+    @classmethod
+    def of_query(cls, kind: QueryKind, source: int, target: int) -> "TraceEvent":
+        return cls(query=(kind, source, target))
+
+    @property
+    def is_query(self) -> bool:
+        return self.query is not None
+
+
+def write_trace(path: Union[str, Path], events: Iterable[TraceEvent]) -> int:
+    """Serialize events; returns the number written."""
+    path = Path(path)
+    count = 0
+    with path.open("w", encoding="ascii") as fh:
+        fh.write(HEADER + "\n")
+        for event in events:
+            if event.update is not None:
+                upd = event.update
+                if upd.kind is UpdateKind.INSERT:
+                    fh.write(f"I {upd.src} {upd.dst} {upd.weight!r}\n")
+                else:
+                    fh.write(f"D {upd.src} {upd.dst}\n")
+            else:
+                assert event.query is not None
+                kind, source, target = event.query
+                fh.write(f"Q {kind.value} {source} {target}\n")
+            count += 1
+    return count
+
+
+def read_trace(path: Union[str, Path]) -> Iterator[TraceEvent]:
+    """Parse a trace file, validating the header and every line."""
+    path = Path(path)
+    with path.open("r", encoding="ascii") as fh:
+        first = fh.readline().rstrip("\n")
+        if first != HEADER:
+            raise WorkloadError(f"{path}: not a repro trace (header {first!r})")
+        for lineno, raw in enumerate(fh, start=2):
+            line = raw.strip()
+            if not line or line.startswith("#"):
+                continue
+            parts = line.split()
+            tag = parts[0]
+            try:
+                if tag == "I" and len(parts) == 4:
+                    yield TraceEvent.of_update(
+                        EdgeUpdate.insert(int(parts[1]), int(parts[2]),
+                                          float(parts[3]))
+                    )
+                elif tag == "D" and len(parts) == 3:
+                    yield TraceEvent.of_update(
+                        EdgeUpdate.delete(int(parts[1]), int(parts[2]))
+                    )
+                elif tag == "Q" and len(parts) == 4:
+                    yield TraceEvent.of_query(
+                        QueryKind.parse(parts[1]), int(parts[2]), int(parts[3])
+                    )
+                else:
+                    raise ValueError("unrecognized event shape")
+            except (ValueError, WorkloadError) as exc:
+                raise WorkloadError(f"{path}:{lineno}: bad event {line!r}") from exc
+
+
+def interleave(
+    updates: Sequence[EdgeUpdate],
+    queries: Sequence[Tuple[QueryKind, int, int]],
+    updates_per_query: int,
+) -> List[TraceEvent]:
+    """Build a trace: one query after every ``updates_per_query`` updates.
+
+    Leftover updates (and then leftover queries) are appended at the end, so
+    no event is dropped.
+    """
+    if updates_per_query < 1:
+        raise WorkloadError("updates_per_query must be >= 1")
+    events: List[TraceEvent] = []
+    query_cursor = 0
+    for i, update in enumerate(updates, start=1):
+        events.append(TraceEvent.of_update(update))
+        if i % updates_per_query == 0 and query_cursor < len(queries):
+            events.append(TraceEvent.of_query(*queries[query_cursor]))
+            query_cursor += 1
+    for kind, source, target in queries[query_cursor:]:
+        events.append(TraceEvent.of_query(kind, source, target))
+    return events
+
+
+@dataclass
+class ReplayReport:
+    """Outcome of replaying a trace against one SGraph."""
+
+    updates_applied: int = 0
+    answers: List[float] = field(default_factory=list)
+    query_stats: StatsAggregate = field(default_factory=StatsAggregate)
+
+    @property
+    def queries_answered(self) -> int:
+        return len(self.answers)
+
+
+def replay_trace(sgraph, events: Iterable[TraceEvent]) -> ReplayReport:
+    """Apply every event in order against an :class:`repro.SGraph`."""
+    dispatch = {
+        QueryKind.DISTANCE: sgraph.distance,
+        QueryKind.HOPS: sgraph.hop_distance,
+        QueryKind.REACHABILITY: sgraph.reachable,
+        QueryKind.BOTTLENECK: sgraph.bottleneck,
+    }
+    report = ReplayReport()
+    for event in events:
+        if event.update is not None:
+            sgraph.apply_update(event.update)
+            report.updates_applied += 1
+        else:
+            assert event.query is not None
+            kind, source, target = event.query
+            result = dispatch[kind](source, target)
+            report.answers.append(result.value)
+            report.query_stats.add(result.stats)
+    return report

@@ -1,0 +1,55 @@
+"""Workload construction shared by the benchmark modules.
+
+A :class:`QueryWorkload` bundles one dataset proxy, a prepared hub index,
+and a deterministic set of query pairs, so every experiment that compares
+engines does so over identical inputs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+from repro.core.hub_index import HubIndex
+from repro.core.semiring import SHORTEST_DISTANCE, PathSemiring
+from repro.graph.datasets import load_dataset
+from repro.graph.dynamic_graph import DynamicGraph
+from repro.graph.stats import sample_vertex_pairs
+
+
+@dataclass
+class QueryWorkload:
+    """One dataset + index + query-pair bundle."""
+
+    name: str
+    graph: DynamicGraph
+    index: HubIndex
+    pairs: List[Tuple[int, int]]
+
+    @property
+    def num_vertices(self) -> int:
+        return self.graph.num_vertices
+
+
+def build_workload(
+    dataset: str,
+    num_pairs: int = 32,
+    num_hubs: int = 16,
+    hub_strategy: str = "degree",
+    seed: int = 0,
+    min_hops: int = 2,
+    semiring: PathSemiring = SHORTEST_DISTANCE,
+) -> QueryWorkload:
+    """Load a dataset proxy, build its hub index, and sample query pairs.
+
+    Pairs are drawn from the largest component with a minimum hop distance,
+    so trivially adjacent queries don't flatter any engine.
+    """
+    graph = load_dataset(dataset)
+    index = HubIndex.build(
+        graph, num_hubs, strategy=hub_strategy, seed=seed, semiring=semiring
+    )
+    pairs = sample_vertex_pairs(
+        graph, num_pairs, seed=seed + 1, connected_only=True, min_hops=min_hops
+    )
+    return QueryWorkload(name=dataset, graph=graph, index=index, pairs=pairs)

@@ -1,0 +1,205 @@
+"""Command-line interface.
+
+Usage (also available as ``python -m repro.cli``)::
+
+    repro datasets                      # the E1 dataset table
+    repro profile social-pl             # profile one dataset proxy
+    repro query social-pl 3 1542        # run one pairwise query
+    repro experiment e2                 # regenerate one experiment table
+    repro experiment all                # regenerate every table
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.bench.experiments import ALL_EXPERIMENTS
+from repro.bench.report import format_table
+from repro.core.config import SGraphConfig
+from repro.core.hub_selection import STRATEGIES
+from repro.graph.datasets import dataset_names, load_dataset
+from repro.graph.stats import profile_graph
+from repro.sgraph import SGraph
+
+
+def _cmd_datasets(_args: argparse.Namespace) -> int:
+    from repro.bench.experiments import run_e1_datasets
+
+    print(format_table(run_e1_datasets(), title="dataset proxies"))
+    return 0
+
+
+def _cmd_profile(args: argparse.Namespace) -> int:
+    graph = load_dataset(args.dataset)
+    profile = profile_graph(graph)
+    rows = [{"dataset": args.dataset, **profile.as_row()}]
+    print(format_table(rows, title=f"profile of {args.dataset}"))
+    return 0
+
+
+def _cmd_query(args: argparse.Namespace) -> int:
+    graph = load_dataset(args.dataset)
+    sg = SGraph(
+        graph=graph,
+        config=SGraphConfig(
+            num_hubs=args.hubs,
+            hub_strategy=args.strategy,
+            queries=("distance", "hops", "capacity"),
+        ),
+    )
+    sg.rebuild_indexes()
+    dispatch = {
+        "distance": sg.distance,
+        "hops": sg.hop_distance,
+        "reachability": sg.reachable,
+        "bottleneck": sg.bottleneck,
+    }
+    result = dispatch[args.kind](args.source, args.target)
+    stats = result.stats
+    print(f"{args.kind}({args.source}, {args.target}) = {result.value}")
+    print(
+        f"  latency {1e3 * stats.elapsed:.3f} ms, "
+        f"{stats.activations} activations, "
+        f"answered_by_index={stats.answered_by_index}"
+    )
+    if args.path and args.kind == "distance":
+        path_result = sg.shortest_path(args.source, args.target)
+        print(f"  path: {path_result.path}")
+    return 0
+
+
+def _cmd_tune(args: argparse.Namespace) -> int:
+    from repro.core.tuning import auto_tune
+
+    graph = load_dataset(args.dataset)
+    result = auto_tune(graph, num_pairs=args.pairs)
+    print(format_table(result.rows(), title=f"tuning {args.dataset}"))
+    cfg = result.config
+    print(f"\nchosen: strategy={cfg.hub_strategy} k={cfg.num_hubs}")
+    return 0
+
+
+def _cmd_record(args: argparse.Namespace) -> int:
+    from repro.bench.trace import interleave, write_trace
+    from repro.core.pairwise import QueryKind
+    from repro.streaming.workload import query_stream, sliding_window_stream
+
+    graph = load_dataset(args.dataset)
+    updates = list(sliding_window_stream(graph, args.updates, seed=args.seed))
+    pairs = query_stream(graph, args.queries, skew=args.skew, seed=args.seed + 1)
+    queries = [(QueryKind.DISTANCE, s, t) for s, t in pairs]
+    rate = max(1, args.updates // max(args.queries, 1))
+    events = interleave(updates, queries, updates_per_query=rate)
+    count = write_trace(args.output, events)
+    print(f"recorded {count} events ({args.updates} updates, "
+          f"{args.queries} queries) for {args.dataset} to {args.output}")
+    return 0
+
+
+def _cmd_replay(args: argparse.Namespace) -> int:
+    from repro.bench.trace import read_trace, replay_trace
+
+    graph = load_dataset(args.dataset)
+    sg = SGraph(
+        graph=graph,
+        config=SGraphConfig(num_hubs=args.hubs, hub_strategy=args.strategy,
+                            queries=("distance", "hops", "capacity")),
+    )
+    sg.rebuild_indexes()
+    report = replay_trace(sg, read_trace(args.trace))
+    agg = report.query_stats
+    print(f"replayed {report.updates_applied} updates, "
+          f"{report.queries_answered} queries")
+    if agg.total:
+        print(f"  query mean {1e3 * agg.mean_elapsed:.3f} ms, "
+              f"p99 {1e3 * agg.p(0.99):.3f} ms, "
+              f"{agg.mean_activations:.1f} activations/query, "
+              f"{100.0 * agg.answered_by_index / agg.total:.1f}% from index")
+    return 0
+
+
+def _cmd_experiment(args: argparse.Namespace) -> int:
+    key = args.id.lower()
+    if key == "all":
+        for title, fn in ALL_EXPERIMENTS.items():
+            print(format_table(fn(), title=f"== {title} =="))
+            print()
+        return 0
+    for title, fn in ALL_EXPERIMENTS.items():
+        if title.lower().startswith(key + " "):
+            print(format_table(fn(), title=f"== {title} =="))
+            return 0
+    print(f"unknown experiment {args.id!r}; known: "
+          f"{', '.join(t.split()[0] for t in ALL_EXPERIMENTS)} or 'all'",
+          file=sys.stderr)
+    return 2
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="SGraph reproduction: pairwise queries over evolving graphs",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("datasets", help="list dataset proxies").set_defaults(
+        fn=_cmd_datasets
+    )
+
+    profile = sub.add_parser("profile", help="profile one dataset proxy")
+    profile.add_argument("dataset", choices=dataset_names())
+    profile.set_defaults(fn=_cmd_profile)
+
+    query = sub.add_parser("query", help="run one pairwise query")
+    query.add_argument("dataset", choices=dataset_names())
+    query.add_argument("source", type=int)
+    query.add_argument("target", type=int)
+    query.add_argument("--kind", default="distance",
+                       choices=["distance", "hops", "reachability",
+                                "bottleneck"])
+    query.add_argument("--hubs", type=int, default=16)
+    query.add_argument("--strategy", default="degree",
+                       choices=sorted(STRATEGIES))
+    query.add_argument("--path", action="store_true",
+                       help="also print the witness path (distance only)")
+    query.set_defaults(fn=_cmd_query)
+
+    tune = sub.add_parser("tune", help="auto-tune hub configuration")
+    tune.add_argument("dataset", choices=dataset_names())
+    tune.add_argument("--pairs", type=int, default=24)
+    tune.set_defaults(fn=_cmd_tune)
+
+    record = sub.add_parser("record", help="record a workload trace")
+    record.add_argument("dataset", choices=dataset_names())
+    record.add_argument("output", help="trace file to write")
+    record.add_argument("--updates", type=int, default=1000)
+    record.add_argument("--queries", type=int, default=50)
+    record.add_argument("--skew", type=float, default=1.0)
+    record.add_argument("--seed", type=int, default=0)
+    record.set_defaults(fn=_cmd_record)
+
+    replay = sub.add_parser("replay", help="replay a recorded trace")
+    replay.add_argument("dataset", choices=dataset_names())
+    replay.add_argument("trace", help="trace file to replay")
+    replay.add_argument("--hubs", type=int, default=16)
+    replay.add_argument("--strategy", default="degree",
+                        choices=sorted(STRATEGIES))
+    replay.set_defaults(fn=_cmd_replay)
+
+    experiment = sub.add_parser("experiment",
+                                help="regenerate an experiment table")
+    experiment.add_argument("id", help="e1..e15, or 'all'")
+    experiment.set_defaults(fn=_cmd_experiment)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

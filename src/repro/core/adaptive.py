@@ -1,0 +1,104 @@
+"""Per-query adaptive strategy selection.
+
+E3's honest result: lower-bound pruning wins when the bounds are tight
+(skewed graphs, spread hubs) but on loose-bound topologies the per-vertex
+bound probes can cost more than they save, letting plain bidirectional
+search win on wall-clock.  The fix is not a better constant — it is *not
+probing when the probe won't pay*.
+
+:class:`AdaptiveEngine` computes the query's own bound gap (two table
+lookups per hub, already needed for the incumbent seed) and dispatches:
+
+* gap closed → answer from the index, zero traversal;
+* gap ratio ≤ ``gap_threshold`` → the pruned engine (bounds are tight
+  enough that probes prune hard);
+* otherwise → plain bidirectional search seeded with the witness upper
+  bound but skipping per-vertex residual probes (``UPPER_ONLY``).
+
+The threshold default comes from the E11 measurement: median gap ratios
+below ~2.5 mark the regime where pruning wins.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional, Tuple
+
+from repro.core.bounds import QueryBounds
+from repro.core.engine import PairwiseEngine
+from repro.core.hub_index import HubIndex
+from repro.core.pruning import PruningPolicy
+from repro.core.semiring import ShortestDistance
+from repro.core.stats import QueryStats
+from repro.errors import ConfigError, QueryError
+
+
+class AdaptiveEngine:
+    """Distance engine that picks pruned vs plain search per query."""
+
+    def __init__(
+        self,
+        graph,
+        index: HubIndex,
+        gap_threshold: float = 2.5,
+    ) -> None:
+        if not isinstance(index.semiring, ShortestDistance):
+            raise ConfigError(
+                "AdaptiveEngine is defined for the distance algebra"
+            )
+        if gap_threshold < 1.0:
+            raise ConfigError("gap_threshold must be >= 1.0")
+        self._graph = graph
+        self._index = index
+        self._threshold = gap_threshold
+        self._pruned = PairwiseEngine(
+            graph, index=index, policy=PruningPolicy.UPPER_AND_LOWER
+        )
+        self._plain = PairwiseEngine(
+            graph, index=index, policy=PruningPolicy.UPPER_ONLY
+        )
+        #: dispatch counters, for diagnostics and the E15 table
+        self.answered_from_index = 0
+        self.dispatched_pruned = 0
+        self.dispatched_plain = 0
+
+    @property
+    def gap_threshold(self) -> float:
+        return self._threshold
+
+    def best_cost(self, source: int, target: int) -> Tuple[float, QueryStats]:
+        """Exact distance with per-query strategy selection."""
+        graph = self._graph
+        for v in (source, target):
+            if not graph.has_vertex(v):
+                raise QueryError(f"query endpoint {v} is not in the graph")
+        if source == target:
+            stats = QueryStats()
+            stats.answered_by_index = True
+            return 0.0, stats
+        bounds = QueryBounds(self._index, source, target)
+        lower = bounds.lower_bound()
+        upper = bounds.upper_bound
+        if lower == math.inf:
+            self.answered_from_index += 1
+            stats = QueryStats()
+            stats.answered_by_index = True
+            return math.inf, stats
+        if upper != math.inf and lower == upper:
+            self.answered_from_index += 1
+            stats = QueryStats()
+            stats.answered_by_index = True
+            return upper, stats
+        ratio = math.inf if lower <= 0 or upper == math.inf else upper / lower
+        if ratio <= self._threshold:
+            self.dispatched_pruned += 1
+            return self._pruned.best_cost(source, target)
+        self.dispatched_plain += 1
+        return self._plain.best_cost(source, target)
+
+    def dispatch_counts(self) -> dict:
+        return {
+            "index": self.answered_from_index,
+            "pruned": self.dispatched_pruned,
+            "plain": self.dispatched_plain,
+        }

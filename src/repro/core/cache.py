@@ -1,0 +1,77 @@
+"""Epoch-guarded query result cache.
+
+Serving workloads re-ask hot pairs (dashboards, popular profiles) far more
+often than the graph changes between asks.  Because every mutation advances
+the graph epoch, a result tagged with its epoch is valid exactly while the
+epoch is unchanged — an invalidation rule that is both trivial and airtight
+(no dependency tracking, no staleness window).
+
+:class:`QueryCache` is a small LRU keyed by ``(kind, source, target)``
+whose entries self-invalidate when the epoch moves.  The facade consults it
+for the value-returning query kinds when constructed with
+``SGraphConfig(cache_size > 0)``.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Hashable, Optional, Tuple
+
+from repro.errors import ConfigError
+
+
+class QueryCache:
+    """LRU of query answers, each pinned to the epoch it was computed at."""
+
+    def __init__(self, capacity: int) -> None:
+        if capacity < 1:
+            raise ConfigError("cache capacity must be >= 1")
+        self._capacity = capacity
+        self._entries: "OrderedDict[Hashable, Tuple[int, object]]" = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+        self.stale = 0
+
+    @property
+    def capacity(self) -> int:
+        return self._capacity
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def get(self, key: Hashable, epoch: int) -> Optional[object]:
+        """The cached value for ``key`` if it was computed at ``epoch``."""
+        entry = self._entries.get(key)
+        if entry is None:
+            self.misses += 1
+            return None
+        cached_epoch, value = entry
+        if cached_epoch != epoch:
+            # Stale: the graph moved on.  Drop it rather than keep paying
+            # the lookup for an entry that can never hit again.
+            del self._entries[key]
+            self.stale += 1
+            self.misses += 1
+            return None
+        self._entries.move_to_end(key)
+        self.hits += 1
+        return value
+
+    def put(self, key: Hashable, epoch: int, value: object) -> None:
+        self._entries[key] = (epoch, value)
+        self._entries.move_to_end(key)
+        while len(self._entries) > self._capacity:
+            self._entries.popitem(last=False)
+
+    def clear(self) -> None:
+        self._entries.clear()
+
+    def stats_row(self) -> dict:
+        total = self.hits + self.misses
+        return {
+            "entries": len(self._entries),
+            "hits": self.hits,
+            "misses": self.misses,
+            "stale": self.stale,
+            "hit%": round(100.0 * self.hits / total, 1) if total else 0.0,
+        }

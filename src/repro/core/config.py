@@ -1,0 +1,62 @@
+"""Engine configuration object for the facade and the benchmark harness."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Tuple
+
+from repro.core.hub_selection import STRATEGIES
+from repro.core.pruning import PruningPolicy
+from repro.errors import ConfigError
+
+
+@dataclass(frozen=True)
+class SGraphConfig:
+    """Tunable knobs of an :class:`repro.SGraph` instance.
+
+    Attributes
+    ----------
+    num_hubs:
+        Hub count k; more hubs mean tighter bounds but a larger index and
+        higher per-update maintenance cost (E7 sweeps this).
+    hub_strategy:
+        One of :data:`repro.core.hub_selection.STRATEGIES`.
+    policy:
+        Pruning policy; the default is the paper's full technique.
+    queries:
+        Which query families to index: any subset of ``("distance", "hops",
+        "capacity", "reliability")``.  Each family costs one index; the
+        reliability family additionally requires every edge weight to be a
+        probability in (0, 1].
+    seed:
+        Seed for randomized hub strategies.
+    cache_size:
+        When > 0, the facade keeps an epoch-guarded LRU of this many query
+        answers (hot pairs re-asked between updates hit it; any mutation
+        invalidates implicitly by advancing the epoch).  0 disables caching.
+    """
+
+    num_hubs: int = 16
+    hub_strategy: str = "degree"
+    policy: PruningPolicy = PruningPolicy.UPPER_AND_LOWER
+    queries: Tuple[str, ...] = ("distance",)
+    seed: int = 0
+    cache_size: int = 0
+
+    def __post_init__(self) -> None:
+        if self.num_hubs < 1:
+            raise ConfigError("num_hubs must be >= 1")
+        if self.hub_strategy not in STRATEGIES:
+            raise ConfigError(
+                f"unknown hub strategy {self.hub_strategy!r}; "
+                f"known: {', '.join(STRATEGIES)}"
+            )
+        object.__setattr__(self, "policy", PruningPolicy.parse(self.policy))
+        known = {"distance", "hops", "capacity", "reliability"}
+        bad = set(self.queries) - known
+        if bad:
+            raise ConfigError(f"unknown query families: {sorted(bad)}")
+        if not self.queries:
+            raise ConfigError("at least one query family must be indexed")
+        if self.cache_size < 0:
+            raise ConfigError("cache_size must be >= 0")

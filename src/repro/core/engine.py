@@ -1,0 +1,523 @@
+"""The pruned bidirectional pairwise query engine.
+
+One search routine serves every pruning policy the evaluation compares:
+
+* ``NONE`` — plain bidirectional best-first search (meet-in-the-middle
+  termination only); the index-free baseline.
+* ``UPPER_ONLY`` — the search is seeded with the hub-index witness bound
+  ``cost(s→h→t)`` and discards frontier vertices whose own cost already
+  cannot beat it.  This models the "existing upper-bound-only" systems the
+  paper measures at roughly 50% activation savings.
+* ``UPPER_AND_LOWER`` — SGraph: additionally, every popped vertex ``v`` is
+  tested against ``concat(g(v), residual(v))`` where ``residual(v)`` is the
+  index's optimistic bound on the *remaining* cost.  Vertices that provably
+  cannot improve the incumbent are discarded, and queries whose lower and
+  upper bounds already coincide are answered with zero traversal.
+
+The routine is generic over :class:`~repro.core.semiring.PathSemiring`, so
+the same code answers shortest-distance and bottleneck queries.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence, Tuple
+
+from repro.core.bounds import QueryBounds
+from repro.core.hub_index import HubIndex
+from repro.core.paths import hub_witness_path, stitch_bidirectional
+from repro.core.pruning import PruningPolicy
+from repro.core.semiring import SHORTEST_DISTANCE, PathSemiring, ShortestDistance
+from repro.core.stats import QueryStats
+from repro.errors import ConfigError, QueryError
+from repro.utils.pqueue import IndexedHeap
+
+
+class PairwiseEngine:
+    """Answers pairwise best-cost queries over one graph (live or snapshot).
+
+    Parameters
+    ----------
+    graph:
+        Anything implementing the traversal protocol (``out_items`` /
+        ``in_items`` / ``has_vertex``).
+    index:
+        A :class:`HubIndex` over the *same* graph, required for the two
+        index-using policies.
+    policy:
+        The pruning policy; accepts the enum or its string value.
+    semiring:
+        Cost algebra; defaults to the index's algebra when an index is given.
+    """
+
+    def __init__(
+        self,
+        graph,
+        index: Optional[HubIndex] = None,
+        policy: "PruningPolicy | str" = PruningPolicy.UPPER_AND_LOWER,
+        semiring: Optional[PathSemiring] = None,
+    ) -> None:
+        self._graph = graph
+        self._policy = PruningPolicy.parse(policy)
+        if self._policy.uses_index and index is None:
+            raise ConfigError(f"policy {self._policy.value} requires a hub index")
+        if index is not None and semiring is not None and index.semiring is not semiring:
+            raise ConfigError(
+                "explicit semiring conflicts with the index's semiring"
+            )
+        if index is not None and index.graph is not graph:
+            # A mismatched pair silently returns wrong answers (bounds from
+            # one graph pruning a search over another), so it is an error.
+            raise ConfigError(
+                "hub index was built over a different graph object"
+            )
+        self._index = index
+        if semiring is not None:
+            self._semiring = semiring
+        elif index is not None:
+            self._semiring = index.semiring
+        else:
+            self._semiring = SHORTEST_DISTANCE
+
+    @property
+    def policy(self) -> PruningPolicy:
+        return self._policy
+
+    @property
+    def semiring(self) -> PathSemiring:
+        return self._semiring
+
+    @property
+    def index(self) -> Optional[HubIndex]:
+        return self._index
+
+    # -- public query surface ---------------------------------------------------
+
+    def best_cost(
+        self, source: int, target: int, tolerance: float = 0.0
+    ) -> Tuple[float, QueryStats]:
+        """Best path cost from source to target, with counters.
+
+        ``tolerance`` enables bounded-error approximation (distance algebra
+        only): the returned value is the cost of a real path and is at most
+        ``(1 + tolerance)`` times the optimum.  A nonzero tolerance lets the
+        bound gap close earlier — often answering straight from the index —
+        which trades a sliver of accuracy for another large latency factor.
+        """
+        return self._search(source, target, stop_at_feasible=False,
+                            tolerance=tolerance)
+
+    def feasible(self, source: int, target: int) -> Tuple[bool, QueryStats]:
+        """Whether any source→target path exists (reachability)."""
+        value, stats = self._search(source, target, stop_at_feasible=True)
+        return self._semiring.is_reachable(value), stats
+
+    def within_budget(
+        self, source: int, target: int, budget: float
+    ) -> Tuple[bool, QueryStats]:
+        """Whether the best cost is at least as good as ``budget``.
+
+        The budget-threshold query ("is t within distance 10 of s?", "is
+        there a path of capacity ≥ 5?") is where the bound pair shines: a
+        witness within budget answers *yes* and a residual beyond it answers
+        *no*, both without traversal.  Only indecisive pairs fall back to a
+        full search.
+        """
+        sr = self._semiring
+        stats = QueryStats()
+        graph = self._graph
+        for v in (source, target):
+            if not graph.has_vertex(v):
+                raise QueryError(f"query endpoint {v} is not in the graph")
+        if source == target:
+            stats.answered_by_index = True
+            return not sr.is_better(budget, sr.source_value), stats
+        if self._policy.uses_index:
+            assert self._index is not None
+            bounds = QueryBounds(self._index, source, target)
+            upper = bounds.upper_bound
+            if upper != sr.unreachable and not sr.is_better(budget, upper):
+                # The witness already meets the budget.
+                stats.answered_by_index = True
+                return True, stats
+            if self._policy.uses_lower_bounds:
+                lower = bounds.lower_bound()
+                if sr.is_better(budget, lower):
+                    # Even the optimistic bound misses the budget.
+                    stats.answered_by_index = True
+                    return False, stats
+        value, search_stats = self._search(source, target,
+                                           stop_at_feasible=False)
+        stats.merge(search_stats)
+        stats.answered_by_index = search_stats.answered_by_index
+        return sr.is_reachable(value) and not sr.is_better(budget, value), stats
+
+    def best_path(
+        self, source: int, target: int
+    ) -> Tuple[float, Optional[list], QueryStats]:
+        """Exact best cost plus a witness path (None when unreachable).
+
+        Path mode differs from :meth:`best_cost` in two ways: pruning is
+        *strict* (tied vertices survive, so at least one optimal path
+        remains discoverable), and when the hub witness itself is optimal
+        the path is materialized by descending the hub trees instead of
+        searching.  Under the bottleneck algebra the witness shortcut is
+        skipped (cost plateaus make tree descent ambiguous) and the search
+        always produces the path.
+        """
+        return self._path_search(source, target)
+
+    def one_to_many(
+        self, source: int, targets: Sequence[int]
+    ) -> Tuple[Dict[int, float], QueryStats]:
+        """Best costs from ``source`` to every target, in one pass.
+
+        Amortizes work across targets three ways: targets whose index bounds
+        already coincide are answered with zero traversal; the rest share a
+        single forward search; and each target *finalizes early* — as soon as
+        the search frontier can no longer beat that target's hub witness,
+        the witness is the answer.  Returns a dict (unreachable targets map
+        to the algebra's unreachable value) and one combined stats record.
+        """
+        graph = self._graph
+        sr = self._semiring
+        stats = QueryStats()
+        if not graph.has_vertex(source):
+            raise QueryError(f"query endpoint {source} is not in the graph")
+        results: Dict[int, float] = {}
+        incumbents: Dict[int, float] = {}
+        target_bounds: Dict[int, QueryBounds] = {}
+        unreachable = sr.unreachable
+        for t in targets:
+            if not graph.has_vertex(t):
+                raise QueryError(f"query endpoint {t} is not in the graph")
+            if t in results or t in incumbents:
+                continue
+            if t == source:
+                results[t] = sr.source_value
+                continue
+            witness = unreachable
+            if self._policy.uses_index:
+                assert self._index is not None
+                bounds = QueryBounds(self._index, source, t)
+                witness = bounds.upper_bound
+                if self._policy.uses_lower_bounds:
+                    lower = bounds.lower_bound()
+                    if lower == unreachable:
+                        results[t] = unreachable
+                        continue
+                    if witness != unreachable and lower == witness:
+                        results[t] = witness
+                        continue
+                    target_bounds[t] = bounds
+            incumbents[t] = witness
+        if not incumbents:
+            stats.answered_by_index = True
+            return results, stats
+
+        remaining = set(incumbents)
+        use_lb = self._policy.uses_lower_bounds
+        labels = {source: sr.source_value}
+        settled: set = set()
+        heap = IndexedHeap()
+        heap.push(source, sr.priority(sr.source_value))
+        while heap and remaining:
+            v, _priority = heap.pop()
+            cost_v = labels[v]
+            settled.add(v)
+            # Finalize targets the frontier can no longer improve on.
+            finished = [
+                t for t in remaining
+                if not sr.is_better(cost_v, incumbents[t])
+            ]
+            for t in finished:
+                results[t] = incumbents[t]
+                remaining.discard(t)
+            if not remaining:
+                break
+            if v in remaining:
+                results[v] = cost_v
+                remaining.discard(v)
+                if not remaining:
+                    break
+            if use_lb:
+                # Expand only vertices that can still improve on *some*
+                # remaining target's incumbent — the one-to-many form of the
+                # lower-bound prune.
+                useful = False
+                for t in remaining:
+                    if not target_bounds[t].prunable_forward(
+                        v, cost_v, incumbents[t]
+                    ):
+                        useful = True
+                        break
+                if not useful:
+                    stats.pruned_by_lower_bound += 1
+                    continue
+            stats.activations += 1
+            for u, w in graph.out_items(v):
+                stats.relaxations += 1
+                if u in settled:
+                    continue
+                candidate = sr.extend(cost_v, w)
+                current = labels.get(u)
+                if current is None or sr.is_better(candidate, current):
+                    labels[u] = candidate
+                    heap.push(u, sr.priority(candidate))
+                    stats.pushes += 1
+                    # A better label for a live target tightens its incumbent.
+                    if u in remaining and sr.is_better(candidate, incumbents[u]):
+                        incumbents[u] = candidate
+        for t in remaining:
+            results[t] = incumbents[t]
+        return results, stats
+
+    # -- path-mode search ---------------------------------------------------------
+
+    def _path_search(
+        self, source: int, target: int
+    ) -> Tuple[float, Optional[list], QueryStats]:
+        graph = self._graph
+        sr = self._semiring
+        stats = QueryStats()
+        for v in (source, target):
+            if not graph.has_vertex(v):
+                raise QueryError(f"query endpoint {v} is not in the graph")
+        if source == target:
+            stats.answered_by_index = True
+            return sr.source_value, [source], stats
+
+        unreachable = sr.unreachable
+        is_distance = isinstance(sr, ShortestDistance)
+        bounds: Optional[QueryBounds] = None
+        incumbent = unreachable
+        if self._policy.uses_index:
+            assert self._index is not None
+            bounds = QueryBounds(self._index, source, target)
+            if self._policy.uses_lower_bounds and bounds.lower_bound() == unreachable:
+                stats.answered_by_index = True
+                return unreachable, None, stats
+            if is_distance:
+                # Seed the incumbent with the hub witness; if the search
+                # never beats it, the witness path itself is reconstructed.
+                incumbent = bounds.upper_bound
+
+        labels_f = {source: sr.source_value}
+        labels_b = {target: sr.source_value}
+        parents_f: dict = {source: None}
+        parents_b: dict = {target: None}
+        settled_f: set = set()
+        settled_b: set = set()
+        heap_f = IndexedHeap()
+        heap_b = IndexedHeap()
+        heap_f.push(source, sr.priority(sr.source_value))
+        heap_b.push(target, sr.priority(sr.source_value))
+        use_ub = self._policy.uses_index
+        use_lb = self._policy.uses_lower_bounds
+        best_meet = None
+        best_meet_cost = unreachable
+
+        while heap_f and heap_b:
+            if incumbent != unreachable:
+                key_f, _ = heap_f.peek()
+                key_b, _ = heap_b.peek()
+                frontier = sr.concat(labels_f[key_f], labels_b[key_b])
+                if sr.is_better(incumbent, frontier):
+                    break
+            forward = len(heap_f) <= len(heap_b)
+            if forward:
+                heap, labels, other_labels, settled, parents = (
+                    heap_f, labels_f, labels_b, settled_f, parents_f,
+                )
+            else:
+                heap, labels, other_labels, settled, parents = (
+                    heap_b, labels_b, labels_f, settled_b, parents_b,
+                )
+
+            v, _priority = heap.pop()
+            cost_v = labels[v]
+            settled.add(v)
+
+            other = other_labels.get(v)
+            if other is not None:
+                candidate = sr.concat(cost_v, other)
+                # Accept ties so an optimal meet is recorded even when the
+                # incumbent was seeded by an equally-good hub witness.
+                if candidate == incumbent or sr.is_better(candidate, incumbent):
+                    incumbent = candidate
+                    best_meet = v
+                    best_meet_cost = candidate
+
+            # Strict pruning only: tied vertices may carry the optimal path.
+            if use_ub and incumbent != unreachable and sr.is_better(
+                incumbent, cost_v
+            ):
+                stats.pruned_by_upper_bound += 1
+                continue
+            if use_lb:
+                assert bounds is not None
+                prunable = (
+                    bounds.prunable_forward(v, cost_v, incumbent, strict=True)
+                    if forward
+                    else bounds.prunable_backward(v, cost_v, incumbent,
+                                                  strict=True)
+                )
+                if prunable:
+                    stats.pruned_by_lower_bound += 1
+                    continue
+
+            stats.activations += 1
+            neighbors = graph.out_items(v) if forward else graph.in_items(v)
+            for u, w in neighbors:
+                stats.relaxations += 1
+                if u in settled:
+                    continue
+                candidate = sr.extend(cost_v, w)
+                current = labels.get(u)
+                if current is None or sr.is_better(candidate, current):
+                    labels[u] = candidate
+                    parents[u] = v
+                    heap.push(u, sr.priority(candidate))
+                    stats.pushes += 1
+
+        if incumbent == unreachable:
+            return unreachable, None, stats
+        if best_meet is not None and best_meet_cost == incumbent:
+            path = stitch_bidirectional(best_meet, parents_f, parents_b)
+            return incumbent, path, stats
+        # The hub witness remained unbeaten: materialize it from the index.
+        assert self._index is not None
+        path = hub_witness_path(self._index, graph, source, target)
+        stats.answered_by_index = True
+        return incumbent, path, stats
+
+    # -- the search -------------------------------------------------------------
+
+    def _search(
+        self,
+        source: int,
+        target: int,
+        stop_at_feasible: bool,
+        tolerance: float = 0.0,
+    ) -> Tuple[float, QueryStats]:
+        graph = self._graph
+        sr = self._semiring
+        stats = QueryStats()
+        if tolerance < 0:
+            raise ConfigError("tolerance must be non-negative")
+        if tolerance > 0 and not isinstance(sr, ShortestDistance):
+            raise ConfigError(
+                "approximate queries are only defined for the distance algebra"
+            )
+        scale = 1.0 + tolerance
+        for v in (source, target):
+            if not graph.has_vertex(v):
+                raise QueryError(f"query endpoint {v} is not in the graph")
+        if source == target:
+            stats.answered_by_index = True
+            return sr.source_value, stats
+
+        unreachable = sr.unreachable
+        bounds: Optional[QueryBounds] = None
+        incumbent = unreachable
+        if self._policy.uses_index:
+            assert self._index is not None
+            bounds = QueryBounds(self._index, source, target)
+            incumbent = bounds.upper_bound
+            if self._policy.uses_lower_bounds:
+                lower = bounds.lower_bound()
+                if lower == unreachable:
+                    # The index proves there is no path at all.
+                    stats.answered_by_index = True
+                    return unreachable, stats
+                if incumbent != unreachable:
+                    # Bounds (approximately) coincide: the witness path is
+                    # optimal, or within the requested tolerance of it.  For
+                    # non-additive algebras only exact coincidence applies.
+                    if isinstance(sr, ShortestDistance):
+                        closed = lower * scale >= incumbent
+                    else:
+                        closed = lower == incumbent
+                    if closed:
+                        stats.answered_by_index = True
+                        return incumbent, stats
+            if stop_at_feasible and incumbent != unreachable:
+                # Any finite witness answers a reachability query.
+                stats.answered_by_index = True
+                return incumbent, stats
+
+        labels_f = {source: sr.source_value}
+        labels_b = {target: sr.source_value}
+        settled_f: set = set()
+        settled_b: set = set()
+        heap_f = IndexedHeap()
+        heap_b = IndexedHeap()
+        heap_f.push(source, sr.priority(sr.source_value))
+        heap_b.push(target, sr.priority(sr.source_value))
+        use_ub = self._policy.uses_index
+        use_lb = self._policy.uses_lower_bounds
+        # With a tolerance, prune/terminate against incumbent/(1+tol): any
+        # path forgone then costs at least that much, so the returned
+        # incumbent is within the requested factor of the optimum.
+        threshold = incumbent if scale == 1.0 else incumbent / scale
+
+        while heap_f and heap_b:
+            if incumbent != unreachable:
+                key_f, _ = heap_f.peek()
+                key_b, _ = heap_b.peek()
+                frontier = sr.concat(labels_f[key_f], labels_b[key_b])
+                if not sr.is_better(frontier, threshold):
+                    break
+            forward = len(heap_f) <= len(heap_b)
+            if forward:
+                heap, labels, other_labels, settled = (
+                    heap_f, labels_f, labels_b, settled_f,
+                )
+            else:
+                heap, labels, other_labels, settled = (
+                    heap_b, labels_b, labels_f, settled_b,
+                )
+
+            v, _priority = heap.pop()
+            cost_v = labels[v]
+            settled.add(v)
+
+            # Meeting the other search's label yields a real s→t path.
+            other = other_labels.get(v)
+            if other is not None:
+                candidate = sr.concat(cost_v, other)
+                if sr.is_better(candidate, incumbent):
+                    incumbent = candidate
+                    threshold = incumbent if scale == 1.0 else incumbent / scale
+                    if stop_at_feasible:
+                        break
+
+            if use_ub and incumbent != unreachable and not sr.is_better(
+                cost_v, threshold
+            ):
+                stats.pruned_by_upper_bound += 1
+                continue
+            if use_lb:
+                assert bounds is not None
+                prunable = (
+                    bounds.prunable_forward(v, cost_v, threshold)
+                    if forward
+                    else bounds.prunable_backward(v, cost_v, threshold)
+                )
+                if prunable:
+                    stats.pruned_by_lower_bound += 1
+                    continue
+
+            stats.activations += 1
+            neighbors = graph.out_items(v) if forward else graph.in_items(v)
+            for u, w in neighbors:
+                stats.relaxations += 1
+                if u in settled:
+                    continue
+                candidate = sr.extend(cost_v, w)
+                current = labels.get(u)
+                if current is None or sr.is_better(candidate, current):
+                    labels[u] = candidate
+                    heap.push(u, sr.priority(candidate))
+                    stats.pushes += 1
+
+        return incumbent, stats

@@ -1,0 +1,272 @@
+"""The hub index: per-hub best-path cost tables, maintained incrementally.
+
+This is SGraph's data structure.  For each of ``k`` hub vertices the index
+keeps the best-path cost from the hub to every vertex (and, on directed
+graphs, from every vertex to the hub).  Those two tables per hub are exactly
+what the triangle inequality needs to produce
+
+* an **upper bound** on any query ``cost(s, t)`` — the witness path
+  ``s → h → t``; and
+* a per-vertex **lower bound** on the remaining cost ``cost(v, t)`` — the
+  novel pruning signal the paper introduces.
+
+Tables are :class:`~repro.streaming.incremental_sssp.IncrementalBestPath`
+maintainers over the *live* graph, so the index follows edge churn at a cost
+proportional to the affected region instead of a full rebuild.
+"""
+
+from __future__ import annotations
+
+import sys
+from typing import Dict, List, Optional, Sequence
+
+from repro.core.hub_selection import select_hubs
+from repro.core.semiring import SHORTEST_DISTANCE, PathSemiring
+from repro.errors import ConfigError, IndexStateError
+from repro.streaming.incremental_sssp import IncrementalBestPath
+
+
+class HubIndex:
+    """Triangle-inequality bound index over ``k`` hubs.
+
+    Construct with :meth:`build` (which also selects hubs) or directly with an
+    explicit hub list.  The index holds a reference to the live graph;
+    callers must route every graph mutation through
+    :meth:`notify_edge_inserted` / :meth:`notify_edge_deleted` *after*
+    mutating the graph (the :class:`repro.SGraph` facade does this).
+    """
+
+    def __init__(
+        self,
+        graph,
+        hubs: Sequence[int],
+        semiring: PathSemiring = SHORTEST_DISTANCE,
+    ) -> None:
+        if not hubs:
+            raise ConfigError("hub index needs at least one hub")
+        seen = set()
+        for h in hubs:
+            if h in seen:
+                raise ConfigError(f"duplicate hub {h}")
+            seen.add(h)
+            if not graph.has_vertex(h):
+                raise IndexStateError(f"hub {h} not in graph")
+        self._graph = graph
+        self._hubs = list(hubs)
+        self._semiring = semiring
+        self._forward: Dict[int, IncrementalBestPath] = {}
+        self._backward: Dict[int, IncrementalBestPath] = {}
+        for h in self._hubs:
+            fwd = IncrementalBestPath(graph, h, semiring, direction="forward")
+            self._forward[h] = fwd
+            if graph.directed:
+                self._backward[h] = IncrementalBestPath(
+                    graph, h, semiring, direction="backward"
+                )
+            else:
+                self._backward[h] = fwd
+        #: vertices settled by the most recent notify call (maintenance metric)
+        self.settled_last_update = 0
+
+    # -- construction ------------------------------------------------------------
+
+    @classmethod
+    def build(
+        cls,
+        graph,
+        num_hubs: int = 16,
+        strategy: str = "degree",
+        seed: int = 0,
+        semiring: PathSemiring = SHORTEST_DISTANCE,
+    ) -> "HubIndex":
+        """Select hubs with the named strategy and build the index."""
+        hubs = select_hubs(graph, num_hubs, strategy=strategy, seed=seed)
+        return cls(graph, hubs, semiring=semiring)
+
+    @classmethod
+    def from_tables(
+        cls,
+        graph,
+        hubs: Sequence[int],
+        semiring: PathSemiring,
+        forward_tables: Dict[int, Dict[int, float]],
+        backward_tables: Optional[Dict[int, Dict[int, float]]] = None,
+    ) -> "HubIndex":
+        """Reconstruct an index from persisted cost tables (no rebuild).
+
+        ``backward_tables`` is required for directed graphs and ignored for
+        undirected ones (where backward aliases forward).
+        """
+        from repro.streaming.incremental_sssp import IncrementalBestPath
+
+        index = cls.__new__(cls)
+        index._graph = graph
+        index._hubs = list(hubs)
+        index._semiring = semiring
+        index._forward = {}
+        index._backward = {}
+        index.settled_last_update = 0
+        for h in index._hubs:
+            fwd = IncrementalBestPath.from_cost_table(
+                graph, h, semiring, "forward", forward_tables[h]
+            )
+            index._forward[h] = fwd
+            if graph.directed:
+                if backward_tables is None:
+                    raise IndexStateError(
+                        "directed index restore needs backward tables"
+                    )
+                index._backward[h] = IncrementalBestPath.from_cost_table(
+                    graph, h, semiring, "backward", backward_tables[h]
+                )
+            else:
+                index._backward[h] = fwd
+        return index
+
+    # -- introspection --------------------------------------------------------------
+
+    @property
+    def graph(self):
+        return self._graph
+
+    @property
+    def hubs(self) -> List[int]:
+        return list(self._hubs)
+
+    @property
+    def num_hubs(self) -> int:
+        return len(self._hubs)
+
+    @property
+    def semiring(self) -> PathSemiring:
+        return self._semiring
+
+    def __repr__(self) -> str:
+        return (
+            f"HubIndex(k={self.num_hubs}, semiring={self._semiring.name}, "
+            f"entries={self.size_entries()})"
+        )
+
+    def cost_from_hub(self, hub: int, vertex: int) -> float:
+        """Best cost ``hub → vertex`` (unreachable value if no path)."""
+        return self._tree(self._forward, hub).cost(vertex)
+
+    def cost_to_hub(self, hub: int, vertex: int) -> float:
+        """Best cost ``vertex → hub``."""
+        return self._tree(self._backward, hub).cost(vertex)
+
+    def _tree(
+        self, table: Dict[int, IncrementalBestPath], hub: int
+    ) -> IncrementalBestPath:
+        try:
+            return table[hub]
+        except KeyError:
+            raise IndexStateError(f"{hub} is not a hub of this index") from None
+
+    def forward_tree(self, hub: int) -> IncrementalBestPath:
+        return self._tree(self._forward, hub)
+
+    def backward_tree(self, hub: int) -> IncrementalBestPath:
+        return self._tree(self._backward, hub)
+
+    # -- maintenance --------------------------------------------------------------
+
+    def notify_edge_inserted(self, src: int, dst: int, weight: float) -> None:
+        """Repair all hub trees after edge ``src → dst`` was added to the graph."""
+        settled = 0
+        for h in self._hubs:
+            fwd = self._forward[h]
+            fwd.on_edge_inserted(src, dst, weight)
+            settled += fwd.settled_last_op
+            bwd = self._backward[h]
+            if bwd is not fwd:
+                bwd.on_edge_inserted(src, dst, weight)
+                settled += bwd.settled_last_op
+        self.settled_last_update = settled
+
+    def notify_edge_deleted(self, src: int, dst: int, old_weight: float) -> None:
+        """Repair all hub trees after edge ``src → dst`` was removed."""
+        settled = 0
+        for h in self._hubs:
+            fwd = self._forward[h]
+            fwd.on_edge_deleted(src, dst, old_weight)
+            settled += fwd.settled_last_op
+            bwd = self._backward[h]
+            if bwd is not fwd:
+                bwd.on_edge_deleted(src, dst, old_weight)
+                settled += bwd.settled_last_op
+        self.settled_last_update = settled
+
+    def refresh(self) -> None:
+        """Force any lazily-deferred rebuilds to run now."""
+        for h in self._hubs:
+            self._forward[h].ensure_fresh()
+            bwd = self._backward[h]
+            if bwd is not self._forward[h]:
+                bwd.ensure_fresh()
+
+    def rebuild(self) -> None:
+        """Full rebuild of every hub tree (the non-incremental baseline).
+
+        For the distance algebra over a snapshot-able graph this goes
+        through a shared CSR materialization — one O(E) array build paid
+        once, then numpy-backed Dijkstra per hub — which is the strongest
+        honest rebuild baseline for the E6 comparison.  Other algebras (and
+        graph views without ``snapshot``) fall back to per-tree dict
+        Dijkstra.
+        """
+        from repro.core.semiring import ShortestDistance
+
+        snapshot_fn = getattr(self._graph, "snapshot", None)
+        if isinstance(self._semiring, ShortestDistance) and snapshot_fn is not None:
+            self._rebuild_via_csr(snapshot_fn())
+            return
+        for h in self._hubs:
+            self._forward[h].rebuild()
+            bwd = self._backward[h]
+            if bwd is not self._forward[h]:
+                bwd.rebuild()
+
+    def _rebuild_via_csr(self, snapshot) -> None:
+        import math
+
+        csr = snapshot.to_csr()
+        ids = csr.vertex_ids()
+
+        def to_table(dist) -> Dict[int, float]:
+            return {
+                ids[i]: float(dist[i])
+                for i in range(len(ids))
+                if dist[i] != math.inf
+            }
+
+        for h in self._hubs:
+            fwd_tree = self._forward[h]
+            fwd_tree.adopt_table(to_table(csr.sssp(h)))
+            bwd_tree = self._backward[h]
+            if bwd_tree is not fwd_tree:
+                bwd_tree.adopt_table(to_table(csr.sssp(h, backward=True)))
+
+    # -- accounting -------------------------------------------------------------------
+
+    def size_entries(self) -> int:
+        """Total stored (hub, vertex) cost entries."""
+        total = 0
+        for h in self._hubs:
+            total += self._forward[h].num_reachable
+            bwd = self._backward[h]
+            if bwd is not self._forward[h]:
+                total += bwd.num_reachable
+        return total
+
+    def size_bytes(self) -> int:
+        """Rough resident size of the cost tables (E10's memory metric)."""
+        total = 0
+        for h in self._hubs:
+            total += sys.getsizeof(self._forward[h].raw_cost_table())
+            bwd = self._backward[h]
+            if bwd is not self._forward[h]:
+                total += sys.getsizeof(bwd.raw_cost_table())
+        # Keys and float values are shared small objects in CPython only
+        # sometimes; charge 16 bytes per entry as a uniform estimate.
+        return total + 16 * self.size_entries()

@@ -1,0 +1,204 @@
+"""Hub (landmark) selection strategies.
+
+Bound tightness — and therefore pruning power — depends heavily on *which*
+vertices serve as hubs.  On skewed graphs, shortest paths concentrate through
+high-degree vertices, so degree-ranked hubs give near-exact bounds for most
+pairs; on flat topologies spread-out hubs do better.  E7 sweeps these
+strategies.
+"""
+
+from __future__ import annotations
+
+import random
+from collections import deque
+from typing import Callable, Dict, List
+
+from repro.errors import ConfigError
+
+
+def select_by_degree(graph, count: int) -> List[int]:
+    """Top-``count`` vertices by total degree (ties broken by vertex id).
+
+    The default strategy: on power-law graphs the hubs of the degree
+    distribution are also the hubs of the shortest-path structure.
+    """
+    _check_count(graph, count)
+    return sorted(graph.vertices(), key=lambda v: (-graph.degree(v), v))[:count]
+
+
+def select_random(graph, count: int, seed: int = 0) -> List[int]:
+    """Uniform random hubs — the ablation control."""
+    _check_count(graph, count)
+    rng = random.Random(seed)
+    return sorted(rng.sample(list(graph.vertices()), count))
+
+
+def select_far_apart(graph, count: int, seed: int = 0) -> List[int]:
+    """Greedy farthest-point (2-approx k-center) hub spreading.
+
+    Start from the highest-degree vertex, then repeatedly pick the vertex at
+    the largest hop distance from the chosen set.  Good on large-diameter
+    graphs (road networks) where degree-ranked hubs cluster in one region.
+    """
+    _check_count(graph, count)
+    first = max(graph.vertices(), key=lambda v: (graph.degree(v), -v))
+    hubs = [first]
+    hop_to_set: Dict[int, int] = _bfs_hops_multi(graph, hubs)
+    rng = random.Random(seed)
+    while len(hubs) < count:
+        best_v = None
+        best_hops = -1
+        for v in graph.vertices():
+            if v in hubs:
+                continue
+            hops = hop_to_set.get(v)
+            # Unreached vertices are infinitely far: prefer them, randomized
+            # so one component does not monopolize the hub budget.
+            if hops is None:
+                hops = graph.num_vertices + rng.randrange(graph.num_vertices)
+            if hops > best_hops:
+                best_hops = hops
+                best_v = v
+        assert best_v is not None
+        hubs.append(best_v)
+        _bfs_hops_update(graph, best_v, hop_to_set)
+    return hubs
+
+
+def select_path_cover(
+    graph, count: int, seed: int = 0, sample_pairs: int = 48
+) -> List[int]:
+    """Hubs chosen by shortest-path coverage sampling.
+
+    Samples random vertex pairs, traces one shortest (hop) path per pair,
+    and greedily picks the vertices lying on the most *uncovered* sampled
+    paths — the classic landmark-selection heuristic for tight triangle-
+    inequality bounds.  Falls back to degree order for any remaining slots
+    (e.g. when few sampled paths exist).
+    """
+    _check_count(graph, count)
+    rng = random.Random(seed)
+    vertices = list(graph.vertices())
+    paths: List[List[int]] = []
+    for _ in range(sample_pairs):
+        s = rng.choice(vertices)
+        t = rng.choice(vertices)
+        if s == t:
+            continue
+        path = _bfs_path(graph, s, t)
+        if path and len(path) > 2:
+            paths.append(path[1:-1])  # endpoints make poor general hubs
+    hubs: List[int] = []
+    uncovered = list(range(len(paths)))
+    while len(hubs) < count and uncovered:
+        frequency: Dict[int, int] = {}
+        for idx in uncovered:
+            for v in paths[idx]:
+                if v not in hubs:
+                    frequency[v] = frequency.get(v, 0) + 1
+        if not frequency:
+            break
+        best = max(frequency.items(), key=lambda kv: (kv[1], graph.degree(kv[0]), -_order_key(kv[0])))[0]
+        hubs.append(best)
+        uncovered = [idx for idx in uncovered if best not in paths[idx]]
+    if len(hubs) < count:
+        for v in sorted(vertices, key=lambda u: (-graph.degree(u), _order_key(u))):
+            if v not in hubs:
+                hubs.append(v)
+            if len(hubs) == count:
+                break
+    return hubs
+
+
+def _order_key(vertex) -> int:
+    """Stable tie-break usable for arbitrary hashable vertex ids."""
+    return hash(vertex)
+
+
+def _bfs_path(graph, source: int, target: int) -> List[int]:
+    """One shortest hop path source→target, or [] if unreachable."""
+    if source == target:
+        return [source]
+    parents = {source: None}
+    queue = deque([source])
+    while queue:
+        v = queue.popleft()
+        for u, _w in graph.out_items(v):
+            if u in parents:
+                continue
+            parents[u] = v
+            if u == target:
+                path = [u]
+                while parents[path[-1]] is not None:
+                    path.append(parents[path[-1]])
+                path.reverse()
+                return path
+            queue.append(u)
+    return []
+
+
+def _check_count(graph, count: int) -> None:
+    if count < 1:
+        raise ConfigError("hub count must be >= 1")
+    if count > graph.num_vertices:
+        raise ConfigError(
+            f"hub count {count} exceeds vertex count {graph.num_vertices}"
+        )
+
+
+def _bfs_hops_multi(graph, sources: List[int]) -> Dict[int, int]:
+    hops = {s: 0 for s in sources}
+    queue = deque(sources)
+    while queue:
+        v = queue.popleft()
+        for u, _w in graph.out_items(v):
+            if u not in hops:
+                hops[u] = hops[v] + 1
+                queue.append(u)
+        for u, _w in graph.in_items(v):
+            if u not in hops:
+                hops[u] = hops[v] + 1
+                queue.append(u)
+    return hops
+
+
+def _bfs_hops_update(graph, source: int, hops: Dict[int, int]) -> None:
+    """Lower existing hop labels given a new source (multi-source update)."""
+    if hops.get(source, 1) <= 0:
+        return
+    hops[source] = 0
+    queue = deque([source])
+    while queue:
+        v = queue.popleft()
+        nxt = hops[v] + 1
+        for u, _w in graph.out_items(v):
+            if hops.get(u, nxt + 1) > nxt:
+                hops[u] = nxt
+                queue.append(u)
+        for u, _w in graph.in_items(v):
+            if hops.get(u, nxt + 1) > nxt:
+                hops[u] = nxt
+                queue.append(u)
+    return
+
+
+#: registry used by configs and the benchmark harness
+STRATEGIES: Dict[str, Callable[..., List[int]]] = {
+    "degree": select_by_degree,
+    "random": select_random,
+    "far-apart": select_far_apart,
+    "path-cover": select_path_cover,
+}
+
+
+def select_hubs(graph, count: int, strategy: str = "degree", seed: int = 0) -> List[int]:
+    """Dispatch to a named strategy from :data:`STRATEGIES`."""
+    try:
+        fn = STRATEGIES[strategy]
+    except KeyError:
+        raise ConfigError(
+            f"unknown hub strategy {strategy!r}; known: {', '.join(STRATEGIES)}"
+        ) from None
+    if strategy == "degree":
+        return fn(graph, count)
+    return fn(graph, count, seed=seed)

@@ -1,0 +1,117 @@
+"""Pairwise query and result types.
+
+A pairwise query asks about a single (source, target) pair — the class of
+query the paper observes is "enough for many real-world scenarios" while
+avoiding the exhaustive, whole-graph nature of analytic queries.  The
+supported query kinds map onto the two cost algebras plus derived forms:
+
+* ``distance`` — weighted shortest-path cost (ShortestDistance algebra);
+* ``hops`` — unweighted shortest-path length (ShortestDistance over a
+  unit-weight view of the graph);
+* ``reachability`` — existence of a path (distance search with first-path
+  short-circuit);
+* ``bottleneck`` — widest-path capacity (BottleneckCapacity algebra).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from enum import Enum
+from typing import List, Optional
+
+from repro.core.stats import QueryStats
+
+
+class QueryKind(Enum):
+    DISTANCE = "distance"
+    HOPS = "hops"
+    REACHABILITY = "reachability"
+    BOTTLENECK = "bottleneck"
+    RELIABILITY = "reliability"
+
+    @classmethod
+    def parse(cls, value: "str | QueryKind") -> "QueryKind":
+        if isinstance(value, cls):
+            return value
+        for kind in cls:
+            if kind.value == value:
+                return kind
+        raise ValueError(
+            f"unknown query kind {value!r}; expected one of {[k.value for k in cls]}"
+        )
+
+
+@dataclass(frozen=True)
+class PairwiseQuery:
+    """One query in a benchmark workload."""
+
+    kind: QueryKind
+    source: int
+    target: int
+
+    def __post_init__(self) -> None:
+        if self.source == self.target:
+            # Legal but degenerate; engines answer it without search.
+            pass
+
+
+@dataclass
+class QueryResult:
+    """Answer + execution counters for one pairwise query."""
+
+    kind: QueryKind
+    source: int
+    target: int
+    #: the raw cost value (math.inf / -math.inf encode unreachable; for
+    #: reachability queries this is 1.0 / 0.0)
+    value: float
+    stats: QueryStats
+    #: epoch of the graph state this answer reflects
+    epoch: Optional[int] = None
+    #: an optimal witness path (vertex list), when the query asked for one
+    path: Optional[List[int]] = None
+
+    @property
+    def reachable(self) -> bool:
+        """Whether a source→target path exists, for any query kind."""
+        if self.kind is QueryKind.REACHABILITY:
+            return bool(self.value)
+        if self.kind is QueryKind.BOTTLENECK:
+            return self.value != -math.inf
+        if self.kind is QueryKind.RELIABILITY:
+            return self.value != 0.0
+        return self.value != math.inf
+
+    @property
+    def distance(self) -> float:
+        """Alias for :attr:`value` on distance/hop queries."""
+        if self.kind not in (QueryKind.DISTANCE, QueryKind.HOPS):
+            raise AttributeError(f"{self.kind.value} query has no distance")
+        return self.value
+
+    @property
+    def hops(self) -> int:
+        if self.kind is not QueryKind.HOPS:
+            raise AttributeError(f"{self.kind.value} query has no hop count")
+        if self.value == math.inf:
+            raise ValueError("target unreachable; no hop count")
+        return int(self.value)
+
+    @property
+    def capacity(self) -> float:
+        if self.kind is not QueryKind.BOTTLENECK:
+            raise AttributeError(f"{self.kind.value} query has no capacity")
+        return self.value
+
+    @property
+    def probability(self) -> float:
+        if self.kind is not QueryKind.RELIABILITY:
+            raise AttributeError(f"{self.kind.value} query has no probability")
+        return self.value
+
+    def __repr__(self) -> str:
+        return (
+            f"QueryResult({self.kind.value}, {self.source}->{self.target}, "
+            f"value={self.value}, act={self.stats.activations})"
+        )

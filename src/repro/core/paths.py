@@ -1,0 +1,142 @@
+"""Path materialization.
+
+The engines answer *costs*; this module recovers an actual optimal path.
+Two mechanisms cooperate:
+
+* **search paths** — the path-mode bidirectional search keeps parent
+  pointers on both sides and stitches them at the best meeting vertex;
+* **hub witness paths** — when the answer came from the index (the hub
+  witness s→h→t was optimal), no parents exist.  The witness is
+  reconstructed by *greedy descent over the hub cost tables*: starting from
+  the endpoint, repeatedly step to any neighbor whose stored cost plus the
+  connecting edge reproduces the current vertex's stored cost.  This works
+  because hub trees are exact SSSP tables, and costs strictly decrease along
+  the descent (positive weights), so it terminates at the hub.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.core.hub_index import HubIndex
+from repro.core.semiring import PathSemiring
+from repro.errors import IndexStateError
+
+
+def stitch_bidirectional(
+    meet: int,
+    parents_forward: Dict[int, Optional[int]],
+    parents_backward: Dict[int, Optional[int]],
+) -> List[int]:
+    """Join forward and backward parent chains at the meeting vertex."""
+    forward: List[int] = []
+    cursor: Optional[int] = meet
+    while cursor is not None:
+        forward.append(cursor)
+        cursor = parents_forward.get(cursor)
+    forward.reverse()
+    cursor = parents_backward.get(meet)
+    while cursor is not None:
+        forward.append(cursor)
+        cursor = parents_backward.get(cursor)
+    return forward
+
+
+def descend_tree(
+    graph,
+    tree_costs: Dict[int, float],
+    semiring: PathSemiring,
+    endpoint: int,
+    toward_source: bool,
+) -> List[int]:
+    """Walk an SSSP cost table from ``endpoint`` back to its tree source.
+
+    ``toward_source=True`` walks a *forward* tree (costs from the source)
+    backwards via in-neighbors; ``False`` walks a *backward* tree (costs to
+    the source) forwards via out-neighbors.  Returns the vertex list from
+    the tree's source to ``endpoint`` (or endpoint→source for backward
+    trees, i.e. always in arc direction).
+    """
+    if endpoint not in tree_costs:
+        raise IndexStateError(f"vertex {endpoint} unreachable in hub tree")
+    chain = [endpoint]
+    seen = {endpoint}
+    current = endpoint
+    guard = len(tree_costs) + 1
+    while tree_costs[current] != semiring.source_value:
+        guard -= 1
+        if guard <= 0:
+            raise IndexStateError("hub tree descent did not terminate")
+        neighbors = (
+            graph.in_items(current) if toward_source else graph.out_items(current)
+        )
+        for nbr, weight in neighbors:
+            if nbr in seen:
+                # Ties (possible under non-additive algebras) could otherwise
+                # cycle; skipping revisits keeps the descent acyclic.
+                continue
+            base = tree_costs.get(nbr)
+            if base is None:
+                continue
+            if semiring.extend(base, weight) == tree_costs[current]:
+                chain.append(nbr)
+                seen.add(nbr)
+                current = nbr
+                break
+        else:
+            raise IndexStateError(
+                f"no tree predecessor found for vertex {current}"
+            )
+    if toward_source:
+        chain.reverse()  # source … endpoint, in arc direction
+    return chain
+
+
+def hub_witness_path(
+    index: HubIndex, graph, source: int, target: int
+) -> List[int]:
+    """Materialize the best s→hub→t witness path from the index.
+
+    Picks the hub minimizing (in the semiring's sense) the witness cost,
+    then descends both of its trees.  Raises :class:`IndexStateError` when
+    no hub connects the pair.
+    """
+    sr = index.semiring
+    best_hub = None
+    best_cost = sr.unreachable
+    for hub in index.hubs:
+        to_hub = index.cost_to_hub(hub, source)
+        from_hub = index.cost_from_hub(hub, target)
+        if to_hub == sr.unreachable or from_hub == sr.unreachable:
+            continue
+        witness = sr.concat(to_hub, from_hub)
+        if best_hub is None or sr.is_better(witness, best_cost):
+            best_hub = hub
+            best_cost = witness
+    if best_hub is None:
+        raise IndexStateError(
+            f"no hub witness connects {source} and {target}"
+        )
+    bwd_tree = index.backward_tree(best_hub)
+    fwd_tree = index.forward_tree(best_hub)
+    bwd_tree.ensure_fresh()
+    fwd_tree.ensure_fresh()
+    # source → hub along the backward tree (costs *to* the hub).
+    first_leg = descend_tree(
+        graph, bwd_tree.raw_cost_table(), sr, source, toward_source=False
+    )
+    # hub → target along the forward tree.
+    second_leg = descend_tree(
+        graph, fwd_tree.raw_cost_table(), sr, target, toward_source=True
+    )
+    return first_leg + second_leg[1:]
+
+
+def path_cost(graph, semiring: PathSemiring, path: List[int]) -> float:
+    """Cost of an explicit path under the semiring (validation helper)."""
+    if not path:
+        return semiring.unreachable
+    cost = semiring.source_value
+    for a, b in zip(path, path[1:]):
+        cost = semiring.extend(cost, graph.edge_weight(a, b))
+    return cost

@@ -1,0 +1,45 @@
+"""Pruning policies — the axis the paper's key experiment sweeps.
+
+* ``NONE`` — no index: bidirectional best-first search with meet-in-the-
+  middle termination only.  Models index-free pairwise engines.
+* ``UPPER_ONLY`` — the index supplies an initial upper bound on the query
+  answer, so any frontier vertex whose own cost is already no better than
+  the bound is discarded.  This is the paper's characterization of existing
+  systems (Tripoline-style), which it measures as pruning only about half
+  of the activations.
+* ``UPPER_AND_LOWER`` — SGraph: in addition to the upper bound, the index
+  yields a *per-vertex lower bound on the remaining cost to the target*;
+  any vertex that provably cannot beat the current best is discarded.  The
+  abstract reports < 1% of vertices activated under this policy.
+"""
+
+from __future__ import annotations
+
+from enum import Enum
+
+
+class PruningPolicy(Enum):
+    NONE = "none"
+    UPPER_ONLY = "upper-only"
+    UPPER_AND_LOWER = "upper+lower"
+
+    @property
+    def uses_index(self) -> bool:
+        return self is not PruningPolicy.NONE
+
+    @property
+    def uses_lower_bounds(self) -> bool:
+        return self is PruningPolicy.UPPER_AND_LOWER
+
+    @classmethod
+    def parse(cls, value: "str | PruningPolicy") -> "PruningPolicy":
+        """Accept a policy instance or its string value."""
+        if isinstance(value, cls):
+            return value
+        for policy in cls:
+            if policy.value == value:
+                return policy
+        raise ValueError(
+            f"unknown pruning policy {value!r}; "
+            f"expected one of {[p.value for p in cls]}"
+        )

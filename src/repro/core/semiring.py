@@ -1,0 +1,249 @@
+"""Path-cost algebra shared by the index, the engines, and the maintainers.
+
+SGraph's pruning idea is not specific to shortest distances: it applies to
+any *monotone* pairwise path query — one where extending a path never makes
+it better, so best-first settling is correct and a triangle-style inequality
+relates hub costs to query costs.  We capture the three query families the
+pairwise literature uses:
+
+* :class:`ShortestDistance` — minimize the sum of weights;
+* :class:`BottleneckCapacity` — maximize the minimum weight (widest path);
+* :class:`ReliabilityProduct` — maximize the product of probabilities
+  (most reliable path; weights must be in (0, 1]).
+
+A :class:`PathSemiring` fixes five things: the cost of the empty path
+(``source_value``), how a path extends over an edge (``extend``), which of
+two costs is better (``is_better``), the cost meaning "no path"
+(``unreachable``), and a mapping to a min-heap priority (``priority``) under
+which best-first settling is sound.  Dijkstra, the incremental maintainer,
+and the hub index are all written once against this interface.
+"""
+
+from __future__ import annotations
+
+import math
+from abc import ABC, abstractmethod
+
+
+class PathSemiring(ABC):
+    """Cost algebra for monotone best-path problems."""
+
+    #: short name used in configs and benchmark tables
+    name: str = "abstract"
+
+    @property
+    @abstractmethod
+    def source_value(self) -> float:
+        """Cost of the empty path (distance 0, capacity +inf)."""
+
+    @property
+    @abstractmethod
+    def unreachable(self) -> float:
+        """Cost representing "no path exists"."""
+
+    @abstractmethod
+    def extend(self, path_cost: float, edge_weight: float) -> float:
+        """Cost of a path extended by one edge."""
+
+    @abstractmethod
+    def is_better(self, a: float, b: float) -> bool:
+        """True when cost ``a`` is strictly preferable to cost ``b``."""
+
+    @abstractmethod
+    def priority(self, cost: float) -> float:
+        """Min-heap priority such that better costs settle first."""
+
+    @abstractmethod
+    def concat(self, a: float, b: float) -> float:
+        """Cost of two paths joined end to end.
+
+        Used both to seed the incumbent (an s→h→t witness path) and for
+        bidirectional meeting candidates.
+        """
+
+    @abstractmethod
+    def residual_from_hub(self, cost_hub_to_v: float, cost_hub_to_t: float) -> float:
+        """Optimistic bound on cost(v, t) from a hub's *outgoing* costs.
+
+        "Optimistic" means the true cost(v, t) can be no better than the
+        returned value; returning :attr:`source_value` is the trivial
+        (information-free) bound, returning :attr:`unreachable` proves there
+        is no v→t path at all.
+        """
+
+    @abstractmethod
+    def residual_to_hub(self, cost_v_to_hub: float, cost_t_to_hub: float) -> float:
+        """Optimistic bound on cost(v, t) from a hub's *incoming* costs."""
+
+    @abstractmethod
+    def tighter_residual(self, a: float, b: float) -> float:
+        """Combine two optimistic bounds, keeping the more restrictive one."""
+
+    # -- derived helpers ------------------------------------------------------
+
+    def best(self, a: float, b: float) -> float:
+        return a if self.is_better(a, b) else b
+
+    def is_reachable(self, cost: float) -> bool:
+        return cost != self.unreachable
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}()"
+
+
+class ShortestDistance(PathSemiring):
+    """Minimize total weight.  The paper's headline query."""
+
+    name = "distance"
+
+    @property
+    def source_value(self) -> float:
+        return 0.0
+
+    @property
+    def unreachable(self) -> float:
+        return math.inf
+
+    def extend(self, path_cost: float, edge_weight: float) -> float:
+        return path_cost + edge_weight
+
+    def is_better(self, a: float, b: float) -> bool:
+        return a < b
+
+    def priority(self, cost: float) -> float:
+        return cost
+
+    def concat(self, a: float, b: float) -> float:
+        return a + b
+
+    def residual_from_hub(self, cost_hub_to_v: float, cost_hub_to_t: float) -> float:
+        # d(h, t) <= d(h, v) + d(v, t)  =>  d(v, t) >= d(h, t) - d(h, v)
+        if cost_hub_to_v == math.inf:
+            return 0.0  # hub knows nothing about v
+        if cost_hub_to_t == math.inf:
+            return math.inf  # h reaches v but not t: no v→t path can exist
+        return max(cost_hub_to_t - cost_hub_to_v, 0.0)
+
+    def residual_to_hub(self, cost_v_to_hub: float, cost_t_to_hub: float) -> float:
+        # d(v, h) <= d(v, t) + d(t, h)  =>  d(v, t) >= d(v, h) - d(t, h)
+        if cost_t_to_hub == math.inf:
+            return 0.0  # inequality degenerates, no information
+        if cost_v_to_hub == math.inf:
+            return math.inf  # t reaches h but v does not: v cannot reach t
+        return max(cost_v_to_hub - cost_t_to_hub, 0.0)
+
+    def tighter_residual(self, a: float, b: float) -> float:
+        return a if a > b else b
+
+
+class BottleneckCapacity(PathSemiring):
+    """Maximize the minimum edge weight along the path (widest path)."""
+
+    name = "capacity"
+
+    @property
+    def source_value(self) -> float:
+        return math.inf
+
+    @property
+    def unreachable(self) -> float:
+        return -math.inf
+
+    def extend(self, path_cost: float, edge_weight: float) -> float:
+        return min(path_cost, edge_weight)
+
+    def is_better(self, a: float, b: float) -> bool:
+        return a > b
+
+    def priority(self, cost: float) -> float:
+        return -cost
+
+    def concat(self, a: float, b: float) -> float:
+        return min(a, b)
+
+    def residual_from_hub(self, cost_hub_to_v: float, cost_hub_to_t: float) -> float:
+        # cap(h, t) >= min(cap(h, v), cap(v, t))
+        if cost_hub_to_v == -math.inf:
+            return math.inf  # hub knows nothing about v
+        if cost_hub_to_t == -math.inf:
+            return -math.inf  # h reaches v but not t: v cannot reach t
+        if cost_hub_to_v > cost_hub_to_t:
+            # The min must have been limited by cap(v, t).
+            return cost_hub_to_t
+        return math.inf
+
+    def residual_to_hub(self, cost_v_to_hub: float, cost_t_to_hub: float) -> float:
+        # cap(v, h) >= min(cap(v, t), cap(t, h))
+        if cost_t_to_hub == -math.inf:
+            return math.inf  # no information
+        if cost_v_to_hub == -math.inf:
+            return -math.inf  # t reaches h but v does not: v cannot reach t
+        if cost_t_to_hub > cost_v_to_hub:
+            return cost_v_to_hub
+        return math.inf
+
+    def tighter_residual(self, a: float, b: float) -> float:
+        return a if a < b else b
+
+
+class ReliabilityProduct(PathSemiring):
+    """Maximize the product of edge success probabilities.
+
+    The "most reliable path" query: every edge weight is a probability in
+    (0, 1], a path's reliability is the product along it, and the best path
+    maximizes it.  Extension is non-improving (multiplying by ≤ 1), so
+    best-first settling is sound.  Edge weights **must** lie in (0, 1] —
+    :class:`repro.SGraph` validates this when the ``reliability`` family is
+    configured; using the algebra directly leaves the check to the caller.
+
+    Weight-1 edges make cost plateaus possible, so (like the bottleneck
+    algebra) deletion repair falls back to a lazy rebuild in the
+    incremental maintainer.
+    """
+
+    name = "reliability"
+
+    @property
+    def source_value(self) -> float:
+        return 1.0
+
+    @property
+    def unreachable(self) -> float:
+        return 0.0
+
+    def extend(self, path_cost: float, edge_weight: float) -> float:
+        return path_cost * edge_weight
+
+    def is_better(self, a: float, b: float) -> bool:
+        return a > b
+
+    def priority(self, cost: float) -> float:
+        return -cost
+
+    def concat(self, a: float, b: float) -> float:
+        return a * b
+
+    def residual_from_hub(self, cost_hub_to_v: float, cost_hub_to_t: float) -> float:
+        # R(h, t) >= R(h, v) * R(v, t)  =>  R(v, t) <= R(h, t) / R(h, v)
+        if cost_hub_to_v == 0.0:
+            return 1.0  # hub knows nothing about v
+        if cost_hub_to_t == 0.0:
+            return 0.0  # h reaches v but not t: v cannot reach t
+        return min(cost_hub_to_t / cost_hub_to_v, 1.0)
+
+    def residual_to_hub(self, cost_v_to_hub: float, cost_t_to_hub: float) -> float:
+        # R(v, h) >= R(v, t) * R(t, h)  =>  R(v, t) <= R(v, h) / R(t, h)
+        if cost_t_to_hub == 0.0:
+            return 1.0  # no information
+        if cost_v_to_hub == 0.0:
+            return 0.0  # t reaches h but v does not: v cannot reach t
+        return min(cost_v_to_hub / cost_t_to_hub, 1.0)
+
+    def tighter_residual(self, a: float, b: float) -> float:
+        return a if a < b else b
+
+
+#: module-level singletons — the algebras are stateless
+SHORTEST_DISTANCE = ShortestDistance()
+BOTTLENECK_CAPACITY = BottleneckCapacity()
+RELIABILITY_PRODUCT = ReliabilityProduct()

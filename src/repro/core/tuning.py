@@ -1,0 +1,132 @@
+"""Configuration auto-tuning.
+
+Hub count and placement are the two knobs that decide SGraph's pruning
+power (E7/E11), and the right setting is topology-dependent: degree hubs on
+skewed graphs, spread-out hubs on flat ones, with diminishing returns in k
+against linear maintenance cost.  :func:`auto_tune` turns that folklore
+into a measurement: it builds candidate indexes, profiles their bound
+tightness on sampled query pairs, and picks the cheapest configuration
+whose median bound-gap ratio is within a slack factor of the best seen.
+
+The returned :class:`TuningResult` keeps the full candidate table so the
+decision is auditable (and printable by ``repro tune``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence, Tuple
+
+from repro.core.config import SGraphConfig
+from repro.core.diagnostics import bound_gap_profile
+from repro.core.hub_index import HubIndex
+from repro.errors import ConfigError
+from repro.graph.stats import sample_vertex_pairs
+
+
+@dataclass(frozen=True)
+class Candidate:
+    """One evaluated (strategy, k) configuration."""
+
+    strategy: str
+    num_hubs: int
+    exact_fraction: float
+    gap_p50: float
+    gap_p90: float
+
+    def as_row(self) -> Dict[str, object]:
+        return {
+            "strategy": self.strategy,
+            "k": self.num_hubs,
+            "exact%": round(100 * self.exact_fraction, 1),
+            "gap_p50": round(self.gap_p50, 2),
+            "gap_p90": round(self.gap_p90, 2),
+        }
+
+
+@dataclass
+class TuningResult:
+    """Chosen configuration plus the full audit trail."""
+
+    config: SGraphConfig
+    candidates: List[Candidate] = field(default_factory=list)
+
+    @property
+    def chosen(self) -> Candidate:
+        for candidate in self.candidates:
+            if (candidate.strategy == self.config.hub_strategy
+                    and candidate.num_hubs == self.config.num_hubs):
+                return candidate
+        raise ConfigError("tuning result lost its chosen candidate")
+
+    def rows(self) -> List[Dict[str, object]]:
+        rows = []
+        for candidate in self.candidates:
+            row = candidate.as_row()
+            row["chosen"] = (
+                "*" if candidate.strategy == self.config.hub_strategy
+                and candidate.num_hubs == self.config.num_hubs else ""
+            )
+            rows.append(row)
+        return rows
+
+
+def auto_tune(
+    graph,
+    hub_budgets: Sequence[int] = (4, 8, 16, 32),
+    strategies: Sequence[str] = ("degree", "far-apart", "path-cover"),
+    num_pairs: int = 32,
+    seed: int = 0,
+    slack: float = 1.10,
+    queries: Tuple[str, ...] = ("distance",),
+) -> TuningResult:
+    """Pick hub strategy and count for ``graph`` by measured bound tightness.
+
+    Every (strategy, k) candidate is profiled on the same sampled pairs;
+    the winner is the candidate with the *fewest hubs* among those whose
+    median gap ratio is within ``slack`` of the overall best — fewer hubs
+    mean proportionally cheaper maintenance, the trade E6/E7 quantify.
+    """
+    if not hub_budgets:
+        raise ConfigError("hub_budgets must not be empty")
+    if slack < 1.0:
+        raise ConfigError("slack must be >= 1.0")
+    max_hubs = graph.num_vertices
+    pairs = sample_vertex_pairs(graph, num_pairs, seed=seed + 1)
+    candidates: List[Candidate] = []
+    for strategy in strategies:
+        for k in hub_budgets:
+            if k > max_hubs:
+                continue
+            index = HubIndex.build(graph, k, strategy=strategy, seed=seed)
+            report = bound_gap_profile(index, pairs)
+            candidates.append(
+                Candidate(
+                    strategy=strategy,
+                    num_hubs=k,
+                    exact_fraction=report.exact_fraction,
+                    gap_p50=report.ratio_percentile(0.5),
+                    gap_p90=report.ratio_percentile(0.9),
+                )
+            )
+    if not candidates:
+        raise ConfigError("no feasible candidate (hub budgets exceed |V|?)")
+    best_gap = min(candidate.gap_p50 for candidate in candidates)
+    admissible = [
+        candidate for candidate in candidates
+        if candidate.gap_p50 <= best_gap * slack
+    ]
+    # Fewest hubs wins; ties break toward the tighter gap, then by the
+    # strategy order the caller supplied (earlier = preferred).
+    order = {strategy: i for i, strategy in enumerate(strategies)}
+    chosen = min(
+        admissible,
+        key=lambda c: (c.num_hubs, c.gap_p50, order[c.strategy]),
+    )
+    config = SGraphConfig(
+        num_hubs=chosen.num_hubs,
+        hub_strategy=chosen.strategy,
+        queries=queries,
+        seed=seed,
+    )
+    return TuningResult(config=config, candidates=candidates)

@@ -1,0 +1,57 @@
+"""Exception hierarchy for the repro package.
+
+All errors raised deliberately by this library derive from :class:`ReproError`
+so that callers can catch library failures without also swallowing Python
+built-ins.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class GraphError(ReproError):
+    """A structural problem with a graph (bad vertex, bad edge, bad weight)."""
+
+
+class VertexNotFoundError(GraphError):
+    """A vertex id was referenced that does not exist in the graph."""
+
+    def __init__(self, vertex: int) -> None:
+        super().__init__(f"vertex {vertex} does not exist")
+        self.vertex = vertex
+
+
+class EdgeNotFoundError(GraphError):
+    """An edge was referenced that does not exist in the graph."""
+
+    def __init__(self, src: int, dst: int) -> None:
+        super().__init__(f"edge ({src}, {dst}) does not exist")
+        self.src = src
+        self.dst = dst
+
+
+class InvalidWeightError(GraphError):
+    """An edge weight was negative, NaN, or otherwise unusable."""
+
+
+class SnapshotError(ReproError):
+    """A snapshot was used incorrectly (e.g. stale epoch, mutation attempt)."""
+
+
+class IndexStateError(ReproError):
+    """The hub index is out of sync with the graph epoch it claims to cover."""
+
+
+class QueryError(ReproError):
+    """A pairwise query was malformed or issued against the wrong engine."""
+
+
+class ConfigError(ReproError):
+    """An engine or harness configuration value is out of range."""
+
+
+class WorkloadError(ReproError):
+    """A benchmark workload specification is inconsistent."""

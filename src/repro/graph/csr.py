@@ -1,0 +1,190 @@
+"""Compressed-sparse-row materialization of a snapshot.
+
+The hub index rebuilds run full single-source shortest-path passes; doing
+those over ``dict``-of-``dict`` adjacency is noticeably slower than over
+flat numpy arrays.  :class:`CSRGraph` is a read-only array view of one
+snapshot with a dense internal vertex numbering plus the id mapping needed to
+translate back to caller-visible vertex ids.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import VertexNotFoundError
+from repro.graph.snapshot import GraphSnapshot
+
+
+class CSRGraph:
+    """Read-only CSR arrays for one graph snapshot.
+
+    Attributes
+    ----------
+    indptr, indices, weights:
+        Standard CSR arrays over the *dense* vertex numbering for forward
+        (out-) traversal.
+    rev_indptr, rev_indices, rev_weights:
+        The same for backward traversal.  For undirected graphs these alias
+        the forward arrays.
+    """
+
+    __slots__ = (
+        "indptr",
+        "indices",
+        "weights",
+        "rev_indptr",
+        "rev_indices",
+        "rev_weights",
+        "_ids",
+        "_dense",
+        "directed",
+        "epoch",
+    )
+
+    def __init__(
+        self,
+        indptr: np.ndarray,
+        indices: np.ndarray,
+        weights: np.ndarray,
+        rev_indptr: np.ndarray,
+        rev_indices: np.ndarray,
+        rev_weights: np.ndarray,
+        vertex_ids: Sequence[int],
+        directed: bool,
+        epoch: int,
+    ) -> None:
+        self.indptr = indptr
+        self.indices = indices
+        self.weights = weights
+        self.rev_indptr = rev_indptr
+        self.rev_indices = rev_indices
+        self.rev_weights = rev_weights
+        self._ids = list(vertex_ids)
+        self._dense: Dict[int, int] = {v: i for i, v in enumerate(self._ids)}
+        self.directed = directed
+        self.epoch = epoch
+
+    # -- construction ---------------------------------------------------------
+
+    @classmethod
+    def from_snapshot(cls, snapshot: GraphSnapshot) -> "CSRGraph":
+        ids = sorted(snapshot.vertices())
+        dense = {v: i for i, v in enumerate(ids)}
+        n = len(ids)
+
+        def build(items_of) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+            indptr = np.zeros(n + 1, dtype=np.int64)
+            rows: List[List[Tuple[int, float]]] = []
+            total = 0
+            for i, v in enumerate(ids):
+                row = [(dense[u], w) for u, w in items_of(v)]
+                row.sort()
+                rows.append(row)
+                total += len(row)
+                indptr[i + 1] = total
+            indices = np.empty(total, dtype=np.int64)
+            weights = np.empty(total, dtype=np.float64)
+            pos = 0
+            for row in rows:
+                for u, w in row:
+                    indices[pos] = u
+                    weights[pos] = w
+                    pos += 1
+            return indptr, indices, weights
+
+        indptr, indices, weights = build(snapshot.out_items)
+        if snapshot.directed:
+            rev_indptr, rev_indices, rev_weights = build(snapshot.in_items)
+        else:
+            rev_indptr, rev_indices, rev_weights = indptr, indices, weights
+        return cls(
+            indptr=indptr,
+            indices=indices,
+            weights=weights,
+            rev_indptr=rev_indptr,
+            rev_indices=rev_indices,
+            rev_weights=rev_weights,
+            vertex_ids=ids,
+            directed=snapshot.directed,
+            epoch=snapshot.epoch,
+        )
+
+    # -- identity ---------------------------------------------------------------
+
+    @property
+    def num_vertices(self) -> int:
+        return len(self._ids)
+
+    @property
+    def num_arcs(self) -> int:
+        """Number of stored arcs (undirected edges count twice, minus loops)."""
+        return int(self.indices.shape[0])
+
+    def __len__(self) -> int:
+        return len(self._ids)
+
+    def __repr__(self) -> str:
+        kind = "directed" if self.directed else "undirected"
+        return f"CSRGraph({kind}, |V|={self.num_vertices}, arcs={self.num_arcs})"
+
+    # -- id mapping ---------------------------------------------------------------
+
+    def dense_id(self, vertex: int) -> int:
+        """Map a caller-visible vertex id to its dense CSR index."""
+        try:
+            return self._dense[vertex]
+        except KeyError:
+            raise VertexNotFoundError(vertex) from None
+
+    def vertex_id(self, dense: int) -> int:
+        """Map a dense CSR index back to the caller-visible vertex id."""
+        return self._ids[dense]
+
+    def vertex_ids(self) -> List[int]:
+        return list(self._ids)
+
+    # -- traversal ---------------------------------------------------------------
+
+    def out_arcs(self, dense: int) -> Iterator[Tuple[int, float]]:
+        """Yield ``(dense_neighbor, weight)`` for forward arcs of ``dense``."""
+        start, stop = self.indptr[dense], self.indptr[dense + 1]
+        for k in range(start, stop):
+            yield int(self.indices[k]), float(self.weights[k])
+
+    def in_arcs(self, dense: int) -> Iterator[Tuple[int, float]]:
+        """Yield ``(dense_neighbor, weight)`` for backward arcs of ``dense``."""
+        start, stop = self.rev_indptr[dense], self.rev_indptr[dense + 1]
+        for k in range(start, stop):
+            yield int(self.rev_indices[k]), float(self.rev_weights[k])
+
+    def sssp(self, source: int, backward: bool = False) -> np.ndarray:
+        """Dijkstra distances from ``source`` (a caller-visible id).
+
+        Returns a float64 array indexed by dense id; unreachable vertices
+        hold ``inf``.  Set ``backward=True`` to compute distances *to*
+        ``source`` along arc directions (used for directed hub indexes).
+        """
+        import heapq
+
+        n = self.num_vertices
+        dist = np.full(n, np.inf, dtype=np.float64)
+        src = self.dense_id(source)
+        dist[src] = 0.0
+        indptr = self.rev_indptr if backward else self.indptr
+        indices = self.rev_indices if backward else self.indices
+        weights = self.rev_weights if backward else self.weights
+        heap: List[Tuple[float, int]] = [(0.0, src)]
+        while heap:
+            d, v = heapq.heappop(heap)
+            if d > dist[v]:
+                continue
+            start, stop = indptr[v], indptr[v + 1]
+            for k in range(start, stop):
+                u = int(indices[k])
+                nd = d + weights[k]
+                if nd < dist[u]:
+                    dist[u] = nd
+                    heapq.heappush(heap, (nd, u))
+        return dist

@@ -1,0 +1,284 @@
+"""Mutable, versioned graph storage for evolving-graph workloads.
+
+:class:`DynamicGraph` is the ingestion-side representation: a weighted
+adjacency structure (directed or undirected) that tracks an *epoch* counter.
+Every mutation advances the epoch, and :meth:`DynamicGraph.snapshot` freezes
+the current state into an immutable :class:`~repro.graph.snapshot.GraphSnapshot`
+that query engines and indexes run against.  This epoch/snapshot split is the
+pure-Python stand-in for SGraph's concurrent ingest/query design: updates and
+queries never race because queries only ever see published epochs.
+
+Weights must be *strictly positive* finite floats: shortest-path semantics
+need non-negative weights, and the incremental index maintainer additionally
+relies on zero-weight cycles being impossible for its deletion repair to be
+sound.  For unweighted use, leave the weight at the default 1.0.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Iterable, Iterator, ItemsView, List, Optional, Tuple
+
+from repro.errors import (
+    EdgeNotFoundError,
+    InvalidWeightError,
+    VertexNotFoundError,
+)
+from repro.graph.snapshot import GraphSnapshot
+
+Edge = Tuple[int, int, float]
+
+
+def _check_weight(weight: float) -> float:
+    weight = float(weight)
+    if math.isnan(weight) or math.isinf(weight) or weight <= 0.0:
+        raise InvalidWeightError(
+            f"edge weight must be a finite positive number, got {weight!r}"
+        )
+    return weight
+
+
+class DynamicGraph:
+    """A weighted graph that supports in-place edge/vertex churn.
+
+    Parameters
+    ----------
+    directed:
+        If True, ``add_edge(u, v)`` creates only the arc u→v and a reverse
+        adjacency is maintained for backward traversal.  If False, edges are
+        symmetric and stored once in each endpoint's adjacency.
+    """
+
+    def __init__(self, directed: bool = False) -> None:
+        self._directed = directed
+        self._out: Dict[int, Dict[int, float]] = {}
+        # For undirected graphs _in aliases _out, so backward traversal is
+        # uniform for the engines without duplicating storage.
+        self._in: Dict[int, Dict[int, float]] = {} if directed else self._out
+        self._num_edges = 0
+        self._epoch = 0
+
+    # -- identity -----------------------------------------------------------
+
+    @property
+    def directed(self) -> bool:
+        return self._directed
+
+    @property
+    def epoch(self) -> int:
+        """Monotone version counter; advances on every successful mutation."""
+        return self._epoch
+
+    @property
+    def num_vertices(self) -> int:
+        return len(self._out)
+
+    @property
+    def num_edges(self) -> int:
+        """Edge count (each undirected edge counted once)."""
+        return self._num_edges
+
+    def __len__(self) -> int:
+        return len(self._out)
+
+    def __contains__(self, vertex: int) -> bool:
+        return vertex in self._out
+
+    def __repr__(self) -> str:
+        kind = "directed" if self._directed else "undirected"
+        return (
+            f"DynamicGraph({kind}, |V|={self.num_vertices}, "
+            f"|E|={self.num_edges}, epoch={self._epoch})"
+        )
+
+    # -- vertices -------------------------------------------------------------
+
+    def add_vertex(self, vertex: int) -> bool:
+        """Ensure ``vertex`` exists.  Returns True if it was newly created."""
+        if vertex in self._out:
+            return False
+        self._out[vertex] = {}
+        if self._directed:
+            self._in[vertex] = {}
+        self._epoch += 1
+        return True
+
+    def remove_vertex(self, vertex: int) -> None:
+        """Remove ``vertex`` and every incident edge."""
+        if vertex not in self._out:
+            raise VertexNotFoundError(vertex)
+        for dst in list(self._out[vertex]):
+            self._remove_edge_internal(vertex, dst)
+        if self._directed:
+            for src in list(self._in[vertex]):
+                self._remove_edge_internal(src, vertex)
+            del self._in[vertex]
+        del self._out[vertex]
+        self._epoch += 1
+
+    def vertices(self) -> Iterator[int]:
+        return iter(self._out)
+
+    def has_vertex(self, vertex: int) -> bool:
+        return vertex in self._out
+
+    # -- edges ----------------------------------------------------------------
+
+    def add_edge(self, src: int, dst: int, weight: float = 1.0) -> bool:
+        """Insert or update the edge ``src → dst``.
+
+        Self-loops are stored but never affect shortest paths.  Returns True
+        if a new edge was created, False if an existing edge's weight was
+        updated.
+        """
+        weight = _check_weight(weight)
+        self.add_vertex(src)
+        self.add_vertex(dst)
+        created = dst not in self._out[src]
+        self._out[src][dst] = weight
+        if self._directed:
+            self._in[dst][src] = weight
+        elif src != dst:
+            self._out[dst][src] = weight
+        if created:
+            self._num_edges += 1
+        self._epoch += 1
+        return created
+
+    def remove_edge(self, src: int, dst: int) -> None:
+        """Remove the edge ``src → dst`` (or the undirected edge {src, dst})."""
+        if src not in self._out or dst not in self._out[src]:
+            raise EdgeNotFoundError(src, dst)
+        self._remove_edge_internal(src, dst)
+        self._epoch += 1
+
+    def _remove_edge_internal(self, src: int, dst: int) -> None:
+        del self._out[src][dst]
+        if self._directed:
+            del self._in[dst][src]
+        elif src != dst:
+            del self._out[dst][src]
+        self._num_edges -= 1
+
+    def discard_edge(self, src: int, dst: int) -> bool:
+        """Remove the edge if present.  Returns True if removed."""
+        if src in self._out and dst in self._out[src]:
+            self._remove_edge_internal(src, dst)
+            self._epoch += 1
+            return True
+        return False
+
+    def has_edge(self, src: int, dst: int) -> bool:
+        return src in self._out and dst in self._out[src]
+
+    def edge_weight(self, src: int, dst: int) -> float:
+        try:
+            return self._out[src][dst]
+        except KeyError:
+            raise EdgeNotFoundError(src, dst) from None
+
+    def edges(self) -> Iterator[Edge]:
+        """Iterate over ``(src, dst, weight)``.
+
+        For undirected graphs each edge appears once, with ``src <= dst``
+        except for the arbitrary orientation of edges whose endpoints compare
+        equal only by insertion history (self-loops appear once).
+        """
+        if self._directed:
+            for src, nbrs in self._out.items():
+                for dst, weight in nbrs.items():
+                    yield src, dst, weight
+        else:
+            for src, nbrs in self._out.items():
+                for dst, weight in nbrs.items():
+                    if src <= dst:
+                        yield src, dst, weight
+
+    # -- traversal protocol (shared with GraphSnapshot) -------------------------
+
+    def out_items(self, vertex: int) -> ItemsView[int, float]:
+        """Items view of ``{neighbor: weight}`` for forward traversal."""
+        try:
+            return self._out[vertex].items()
+        except KeyError:
+            raise VertexNotFoundError(vertex) from None
+
+    def in_items(self, vertex: int) -> ItemsView[int, float]:
+        """Items view of ``{neighbor: weight}`` for backward traversal."""
+        try:
+            return self._in[vertex].items()
+        except KeyError:
+            raise VertexNotFoundError(vertex) from None
+
+    def out_degree(self, vertex: int) -> int:
+        try:
+            return len(self._out[vertex])
+        except KeyError:
+            raise VertexNotFoundError(vertex) from None
+
+    def in_degree(self, vertex: int) -> int:
+        try:
+            return len(self._in[vertex])
+        except KeyError:
+            raise VertexNotFoundError(vertex) from None
+
+    def degree(self, vertex: int) -> int:
+        """Total degree: out+in for directed graphs, neighbor count otherwise."""
+        if self._directed:
+            return self.out_degree(vertex) + self.in_degree(vertex)
+        return self.out_degree(vertex)
+
+    # -- bulk construction -------------------------------------------------------
+
+    @classmethod
+    def from_edges(
+        cls, edges: Iterable[Tuple[int, int] | Edge], directed: bool = False
+    ) -> "DynamicGraph":
+        """Build a graph from ``(src, dst)`` or ``(src, dst, weight)`` tuples."""
+        graph = cls(directed=directed)
+        for edge in edges:
+            if len(edge) == 2:
+                src, dst = edge  # type: ignore[misc]
+                graph.add_edge(src, dst)
+            else:
+                src, dst, weight = edge  # type: ignore[misc]
+                graph.add_edge(src, dst, weight)
+        return graph
+
+    def copy(self) -> "DynamicGraph":
+        """Deep copy with an independent epoch counter (reset to 0)."""
+        clone = DynamicGraph(directed=self._directed)
+        clone._out = {v: dict(nbrs) for v, nbrs in self._out.items()}
+        if self._directed:
+            clone._in = {v: dict(nbrs) for v, nbrs in self._in.items()}
+        else:
+            clone._in = clone._out
+        clone._num_edges = self._num_edges
+        return clone
+
+    # -- snapshots ---------------------------------------------------------------
+
+    def snapshot(self) -> GraphSnapshot:
+        """Freeze the current state into an immutable snapshot.
+
+        The snapshot owns copies of the adjacency dicts, so later mutations
+        of this graph never leak into published epochs.
+        """
+        out = {v: dict(nbrs) for v, nbrs in self._out.items()}
+        if self._directed:
+            inn: Optional[Dict[int, Dict[int, float]]] = {
+                v: dict(nbrs) for v, nbrs in self._in.items()
+            }
+        else:
+            inn = None
+        return GraphSnapshot(
+            out=out,
+            inn=inn,
+            directed=self._directed,
+            num_edges=self._num_edges,
+            epoch=self._epoch,
+        )
+
+    def edge_list(self) -> List[Edge]:
+        """Materialize :meth:`edges` as a list (handy for tests)."""
+        return list(self.edges())

@@ -1,0 +1,237 @@
+"""Synthetic graph generators.
+
+These are the dataset substitutes: the paper evaluates on web/social graphs
+(power-law degree distributions, small diameter) and, for the pairwise query
+literature generally, road networks (bounded degree, large diameter).  Each
+generator here reproduces one of those topology classes at laptop scale.
+
+All generators take an explicit ``seed`` and return a
+:class:`~repro.graph.DynamicGraph`; weights default to 1.0 and can be
+randomized with ``weight_range``.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from typing import Optional, Tuple
+
+from repro.errors import ConfigError
+from repro.graph.dynamic_graph import DynamicGraph
+
+
+def _weight_for(
+    rng: random.Random, weight_range: Optional[Tuple[float, float]]
+) -> float:
+    if weight_range is None:
+        return 1.0
+    low, high = weight_range
+    if low < 0 or high < low:
+        raise ConfigError(f"invalid weight_range {weight_range!r}")
+    return rng.uniform(low, high)
+
+
+def erdos_renyi_graph(
+    num_vertices: int,
+    num_edges: int,
+    seed: int = 0,
+    directed: bool = False,
+    weight_range: Optional[Tuple[float, float]] = None,
+) -> DynamicGraph:
+    """Uniform random graph with exactly ``num_edges`` distinct edges."""
+    if num_vertices < 1:
+        raise ConfigError("num_vertices must be >= 1")
+    max_edges = num_vertices * (num_vertices - 1)
+    if not directed:
+        max_edges //= 2
+    if num_edges > max_edges:
+        raise ConfigError(
+            f"{num_edges} edges requested but at most {max_edges} are possible"
+        )
+    rng = random.Random(seed)
+    graph = DynamicGraph(directed=directed)
+    for v in range(num_vertices):
+        graph.add_vertex(v)
+    seen = set()
+    while len(seen) < num_edges:
+        u = rng.randrange(num_vertices)
+        v = rng.randrange(num_vertices)
+        if u == v:
+            continue
+        key = (u, v) if directed or u < v else (v, u)
+        if key in seen:
+            continue
+        seen.add(key)
+        graph.add_edge(u, v, _weight_for(rng, weight_range))
+    return graph
+
+
+def power_law_graph(
+    num_vertices: int,
+    edges_per_vertex: int = 4,
+    seed: int = 0,
+    directed: bool = False,
+    weight_range: Optional[Tuple[float, float]] = None,
+) -> DynamicGraph:
+    """Preferential-attachment (Barabási–Albert style) power-law graph.
+
+    This is the stand-in for social graphs such as LiveJournal or Twitter:
+    heavy-tailed degrees with a few very high-degree hubs, which is exactly
+    the regime where hub-based triangle-inequality bounds are tight.
+    """
+    if edges_per_vertex < 1:
+        raise ConfigError("edges_per_vertex must be >= 1")
+    if num_vertices <= edges_per_vertex:
+        raise ConfigError("num_vertices must exceed edges_per_vertex")
+    rng = random.Random(seed)
+    graph = DynamicGraph(directed=directed)
+    # Seed clique keeps early attachment well-defined.
+    core = edges_per_vertex + 1
+    for u in range(core):
+        for v in range(u + 1, core):
+            graph.add_edge(u, v, _weight_for(rng, weight_range))
+    # Repeated-endpoints list implements preferential attachment in O(1).
+    targets = []
+    for u, v, _w in graph.edge_list():
+        targets.append(u)
+        targets.append(v)
+    for v in range(core, num_vertices):
+        chosen = set()
+        while len(chosen) < edges_per_vertex:
+            chosen.add(rng.choice(targets))
+        for u in chosen:
+            graph.add_edge(v, u, _weight_for(rng, weight_range))
+            targets.append(u)
+            targets.append(v)
+    return graph
+
+
+def rmat_graph(
+    scale: int,
+    edge_factor: int = 8,
+    seed: int = 0,
+    directed: bool = False,
+    probabilities: Tuple[float, float, float, float] = (0.57, 0.19, 0.19, 0.05),
+    weight_range: Optional[Tuple[float, float]] = None,
+) -> DynamicGraph:
+    """Recursive-matrix (R-MAT / Graph500 style) skewed random graph.
+
+    ``2**scale`` vertex slots, ``edge_factor * 2**scale`` edge draws (duplicate
+    draws collapse, so the realized edge count is somewhat lower — as in the
+    Graph500 generator).  The default probabilities are the Graph500 ones and
+    yield a Twitter-like skew.
+    """
+    a, b, c, d = probabilities
+    if not math.isclose(a + b + c + d, 1.0, abs_tol=1e-9):
+        raise ConfigError("R-MAT probabilities must sum to 1")
+    if scale < 1:
+        raise ConfigError("scale must be >= 1")
+    rng = random.Random(seed)
+    n = 1 << scale
+    graph = DynamicGraph(directed=directed)
+    for draw in range(edge_factor * n):
+        u = v = 0
+        for _level in range(scale):
+            r = rng.random()
+            u <<= 1
+            v <<= 1
+            if r < a:
+                pass
+            elif r < a + b:
+                v |= 1
+            elif r < a + b + c:
+                u |= 1
+            else:
+                u |= 1
+                v |= 1
+        if u == v:
+            continue
+        graph.add_edge(u, v, _weight_for(rng, weight_range))
+    return graph
+
+
+def grid_graph(
+    rows: int,
+    cols: int,
+    seed: int = 0,
+    directed: bool = False,
+    weight_range: Optional[Tuple[float, float]] = (1.0, 10.0),
+    diagonal_fraction: float = 0.0,
+) -> DynamicGraph:
+    """Road-network stand-in: a rows×cols lattice with random edge lengths.
+
+    Bounded degree and Θ(rows+cols) diameter reproduce the topology that makes
+    goal-directed pruning (lower bounds) shine relative to plain Dijkstra.
+    ``diagonal_fraction`` optionally adds that fraction of cells a diagonal
+    shortcut, roughening the lattice like real road grids.
+    """
+    if rows < 1 or cols < 1:
+        raise ConfigError("rows and cols must be >= 1")
+    if not 0.0 <= diagonal_fraction <= 1.0:
+        raise ConfigError("diagonal_fraction must be within [0, 1]")
+    rng = random.Random(seed)
+    graph = DynamicGraph(directed=directed)
+
+    def vid(r: int, col: int) -> int:
+        return r * cols + col
+
+    for r in range(rows):
+        for col in range(cols):
+            graph.add_vertex(vid(r, col))
+            if col + 1 < cols:
+                graph.add_edge(
+                    vid(r, col), vid(r, col + 1), _weight_for(rng, weight_range)
+                )
+            if r + 1 < rows:
+                graph.add_edge(
+                    vid(r, col), vid(r + 1, col), _weight_for(rng, weight_range)
+                )
+            if (
+                diagonal_fraction > 0.0
+                and col + 1 < cols
+                and r + 1 < rows
+                and rng.random() < diagonal_fraction
+            ):
+                graph.add_edge(
+                    vid(r, col), vid(r + 1, col + 1), _weight_for(rng, weight_range)
+                )
+    return graph
+
+
+def small_world_graph(
+    num_vertices: int,
+    nearest_neighbors: int = 4,
+    rewire_probability: float = 0.1,
+    seed: int = 0,
+    weight_range: Optional[Tuple[float, float]] = None,
+) -> DynamicGraph:
+    """Watts–Strogatz small-world graph (always undirected).
+
+    Used as a mid-point between the lattice and the power-law graphs: short
+    paths but homogeneous degrees, so hub selection matters less and the
+    bound-tightness ablation (E7) gets a contrasting topology.
+    """
+    k = nearest_neighbors
+    if k % 2 != 0 or k < 2:
+        raise ConfigError("nearest_neighbors must be a positive even number")
+    if num_vertices <= k:
+        raise ConfigError("num_vertices must exceed nearest_neighbors")
+    if not 0.0 <= rewire_probability <= 1.0:
+        raise ConfigError("rewire_probability must be within [0, 1]")
+    rng = random.Random(seed)
+    graph = DynamicGraph(directed=False)
+    for v in range(num_vertices):
+        graph.add_vertex(v)
+    for v in range(num_vertices):
+        for offset in range(1, k // 2 + 1):
+            u = (v + offset) % num_vertices
+            if rng.random() < rewire_probability:
+                # Rewire the far endpoint to a uniform non-neighbor.
+                for _attempt in range(num_vertices):
+                    w = rng.randrange(num_vertices)
+                    if w != v and not graph.has_edge(v, w):
+                        u = w
+                        break
+            if not graph.has_edge(v, u) and v != u:
+                graph.add_edge(v, u, _weight_for(rng, weight_range))
+    return graph

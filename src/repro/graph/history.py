@@ -1,0 +1,187 @@
+"""Epoch history: an append-only update log with checkpointed time travel.
+
+Evolving-graph analyses often need the graph *as it was*: auditing a past
+query answer, re-running an experiment window, or feeding E8-style
+studies.  :class:`HistoryGraph` wraps a :class:`~repro.graph.DynamicGraph`,
+records every mutation in an append-only log, takes a full checkpoint every
+``checkpoint_interval`` operations, and reconstructs the state at any past
+epoch by copying the nearest checkpoint at or before it and replaying the
+log forward — O(interval) worst-case replay instead of O(history).
+
+This is storage-level time travel (any epoch, graph only), complementing
+:class:`~repro.streaming.versioning.VersionedStore` (published epochs only,
+but with frozen *indexes* so queries are fast).
+"""
+
+from __future__ import annotations
+
+import bisect
+from dataclasses import dataclass
+from enum import Enum
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.errors import GraphError, SnapshotError
+from repro.graph.dynamic_graph import DynamicGraph
+from repro.streaming.update import EdgeUpdate, UpdateKind
+
+
+class OpKind(Enum):
+    ADD_VERTEX = "add_vertex"
+    SET_EDGE = "set_edge"       # insert or weight change
+    DEL_EDGE = "del_edge"
+    DEL_VERTEX = "del_vertex"
+
+
+@dataclass(frozen=True)
+class LogEntry:
+    """One logged mutation and the epoch the graph reached after it."""
+
+    epoch: int
+    op: OpKind
+    u: int
+    v: Optional[int] = None
+    weight: Optional[float] = None
+
+
+class HistoryGraph:
+    """A DynamicGraph with full mutation history and ``state_at``.
+
+    All mutations must go through this wrapper; mutating the underlying
+    graph directly would silently desynchronize the log.
+    """
+
+    def __init__(
+        self, directed: bool = False, checkpoint_interval: int = 256
+    ) -> None:
+        if checkpoint_interval < 1:
+            raise GraphError("checkpoint_interval must be >= 1")
+        self._graph = DynamicGraph(directed=directed)
+        self._log: List[LogEntry] = []
+        self._interval = checkpoint_interval
+        self._ops_since_checkpoint = 0
+        # Checkpoints: (epoch, graph copy, log length at capture).
+        self._checkpoints: List[Tuple[int, DynamicGraph, int]] = [
+            (self._graph.epoch, self._graph.copy(), 0)
+        ]
+
+    # -- introspection -----------------------------------------------------------
+
+    @property
+    def current(self) -> DynamicGraph:
+        """The live graph (read-only by convention)."""
+        return self._graph
+
+    @property
+    def epoch(self) -> int:
+        return self._graph.epoch
+
+    @property
+    def num_logged_ops(self) -> int:
+        return len(self._log)
+
+    @property
+    def num_checkpoints(self) -> int:
+        return len(self._checkpoints)
+
+    def epochs(self) -> List[int]:
+        """Every epoch reached by a logged operation (ascending)."""
+        return [entry.epoch for entry in self._log]
+
+    # -- mutation ----------------------------------------------------------------
+
+    def _record(self, op: OpKind, u: int, v: Optional[int] = None,
+                weight: Optional[float] = None) -> None:
+        self._log.append(
+            LogEntry(epoch=self._graph.epoch, op=op, u=u, v=v, weight=weight)
+        )
+        self._ops_since_checkpoint += 1
+        if self._ops_since_checkpoint >= self._interval:
+            self._checkpoints.append(
+                (self._graph.epoch, self._graph.copy(), len(self._log))
+            )
+            self._ops_since_checkpoint = 0
+
+    def add_vertex(self, vertex: int) -> bool:
+        created = self._graph.add_vertex(vertex)
+        if created:
+            self._record(OpKind.ADD_VERTEX, vertex)
+        return created
+
+    def add_edge(self, src: int, dst: int, weight: float = 1.0) -> None:
+        if (self._graph.has_edge(src, dst)
+                and self._graph.edge_weight(src, dst) == weight):
+            return
+        self._graph.add_edge(src, dst, weight)
+        self._record(OpKind.SET_EDGE, src, dst, weight)
+
+    def remove_edge(self, src: int, dst: int) -> None:
+        self._graph.remove_edge(src, dst)
+        self._record(OpKind.DEL_EDGE, src, dst)
+
+    def discard_edge(self, src: int, dst: int) -> bool:
+        if not self._graph.has_edge(src, dst):
+            return False
+        self.remove_edge(src, dst)
+        return True
+
+    def remove_vertex(self, vertex: int) -> None:
+        self._graph.remove_vertex(vertex)
+        self._record(OpKind.DEL_VERTEX, vertex)
+
+    def apply_update(self, update: EdgeUpdate) -> None:
+        if update.kind is UpdateKind.INSERT:
+            self.add_edge(update.src, update.dst, update.weight)
+        else:
+            self.discard_edge(update.src, update.dst)
+
+    def apply(self, updates: Iterable[EdgeUpdate]) -> int:
+        count = 0
+        for update in updates:
+            self.apply_update(update)
+            count += 1
+        return count
+
+    # -- time travel ---------------------------------------------------------------
+
+    def state_at(self, epoch: int) -> DynamicGraph:
+        """Reconstruct the graph as of ``epoch``.
+
+        ``epoch`` may be any value ≥ the initial epoch; the state returned
+        is the one produced by the last operation whose post-epoch is ≤ it
+        (i.e. epochs between mutations resolve to the preceding state).
+        """
+        initial_epoch = self._checkpoints[0][0]
+        if epoch < initial_epoch:
+            raise SnapshotError(
+                f"epoch {epoch} predates recorded history (starts at "
+                f"{initial_epoch})"
+            )
+        # Nearest checkpoint at or before the target.
+        checkpoint_epochs = [c[0] for c in self._checkpoints]
+        idx = bisect.bisect_right(checkpoint_epochs, epoch) - 1
+        _cp_epoch, base, log_pos = self._checkpoints[idx]
+        state = base.copy()
+        for entry in self._log[log_pos:]:
+            if entry.epoch > epoch:
+                break
+            self._replay(state, entry)
+        return state
+
+    @staticmethod
+    def _replay(state: DynamicGraph, entry: LogEntry) -> None:
+        if entry.op is OpKind.ADD_VERTEX:
+            state.add_vertex(entry.u)
+        elif entry.op is OpKind.SET_EDGE:
+            assert entry.v is not None and entry.weight is not None
+            state.add_edge(entry.u, entry.v, entry.weight)
+        elif entry.op is OpKind.DEL_EDGE:
+            assert entry.v is not None
+            state.discard_edge(entry.u, entry.v)
+        else:
+            state.remove_vertex(entry.u)
+
+    def __repr__(self) -> str:
+        return (
+            f"HistoryGraph(epoch={self.epoch}, ops={self.num_logged_ops}, "
+            f"checkpoints={self.num_checkpoints})"
+        )

@@ -1,0 +1,144 @@
+"""Immutable graph snapshots.
+
+A :class:`GraphSnapshot` is the unit of isolation between the ingestion path
+and the query path: the scheduler publishes snapshots at epoch boundaries and
+every query (and every hub-index build) runs against exactly one snapshot.
+Snapshots expose the same traversal protocol as
+:class:`~repro.graph.dynamic_graph.DynamicGraph` (``out_items`` /
+``in_items``), so engines are agnostic to which one they are given.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, ItemsView, Iterator, List, Optional, Tuple
+
+from repro.errors import EdgeNotFoundError, SnapshotError, VertexNotFoundError
+
+Edge = Tuple[int, int, float]
+
+
+class GraphSnapshot:
+    """Frozen view of a graph at a specific epoch.
+
+    Construct via :meth:`repro.graph.DynamicGraph.snapshot`; the constructor
+    takes ownership of the dictionaries passed in and must not be handed
+    aliases of live state.
+    """
+
+    __slots__ = ("_out", "_in", "_directed", "_num_edges", "_epoch")
+
+    def __init__(
+        self,
+        out: Dict[int, Dict[int, float]],
+        inn: Optional[Dict[int, Dict[int, float]]],
+        directed: bool,
+        num_edges: int,
+        epoch: int,
+    ) -> None:
+        if directed and inn is None:
+            raise SnapshotError("directed snapshot requires a reverse adjacency")
+        self._out = out
+        self._in = inn if directed else out
+        self._directed = directed
+        self._num_edges = num_edges
+        self._epoch = epoch
+
+    # -- identity -----------------------------------------------------------
+
+    @property
+    def directed(self) -> bool:
+        return self._directed
+
+    @property
+    def epoch(self) -> int:
+        return self._epoch
+
+    @property
+    def num_vertices(self) -> int:
+        return len(self._out)
+
+    @property
+    def num_edges(self) -> int:
+        return self._num_edges
+
+    def __len__(self) -> int:
+        return len(self._out)
+
+    def __contains__(self, vertex: int) -> bool:
+        return vertex in self._out
+
+    def __repr__(self) -> str:
+        kind = "directed" if self._directed else "undirected"
+        return (
+            f"GraphSnapshot({kind}, |V|={self.num_vertices}, "
+            f"|E|={self.num_edges}, epoch={self._epoch})"
+        )
+
+    # -- traversal protocol ---------------------------------------------------
+
+    def vertices(self) -> Iterator[int]:
+        return iter(self._out)
+
+    def has_vertex(self, vertex: int) -> bool:
+        return vertex in self._out
+
+    def has_edge(self, src: int, dst: int) -> bool:
+        return src in self._out and dst in self._out[src]
+
+    def edge_weight(self, src: int, dst: int) -> float:
+        if src not in self._out:
+            raise VertexNotFoundError(src)
+        try:
+            return self._out[src][dst]
+        except KeyError:
+            raise EdgeNotFoundError(src, dst) from None
+
+    def out_items(self, vertex: int) -> ItemsView[int, float]:
+        try:
+            return self._out[vertex].items()
+        except KeyError:
+            raise VertexNotFoundError(vertex) from None
+
+    def in_items(self, vertex: int) -> ItemsView[int, float]:
+        try:
+            return self._in[vertex].items()
+        except KeyError:
+            raise VertexNotFoundError(vertex) from None
+
+    def out_degree(self, vertex: int) -> int:
+        try:
+            return len(self._out[vertex])
+        except KeyError:
+            raise VertexNotFoundError(vertex) from None
+
+    def in_degree(self, vertex: int) -> int:
+        try:
+            return len(self._in[vertex])
+        except KeyError:
+            raise VertexNotFoundError(vertex) from None
+
+    def degree(self, vertex: int) -> int:
+        if self._directed:
+            return self.out_degree(vertex) + self.in_degree(vertex)
+        return self.out_degree(vertex)
+
+    def edges(self) -> Iterator[Edge]:
+        """Iterate over edges; undirected edges appear once (src <= dst)."""
+        if self._directed:
+            for src, nbrs in self._out.items():
+                for dst, weight in nbrs.items():
+                    yield src, dst, weight
+        else:
+            for src, nbrs in self._out.items():
+                for dst, weight in nbrs.items():
+                    if src <= dst:
+                        yield src, dst, weight
+
+    def edge_list(self) -> List[Edge]:
+        return list(self.edges())
+
+    def to_csr(self) -> "CSRGraph":
+        """Build a numpy CSR materialization of this snapshot."""
+        from repro.graph.csr import CSRGraph
+
+        return CSRGraph.from_snapshot(self)

@@ -1,0 +1,81 @@
+"""Graph views: alternative weightings over the same adjacency.
+
+:class:`UnitWeightView` presents every edge with weight 1.0 so that the
+distance machinery (engine, hub index, incremental maintenance) answers
+*hop-count* queries without duplicating the graph.  The view follows the
+underlying graph live — mutations show through immediately.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Tuple
+
+
+class UnitWeightView:
+    """Read-only traversal-protocol adapter that reports all weights as 1.0."""
+
+    __slots__ = ("_graph",)
+
+    def __init__(self, graph) -> None:
+        self._graph = graph
+
+    @property
+    def base(self):
+        """The underlying graph."""
+        return self._graph
+
+    @property
+    def directed(self) -> bool:
+        return self._graph.directed
+
+    @property
+    def num_vertices(self) -> int:
+        return self._graph.num_vertices
+
+    @property
+    def num_edges(self) -> int:
+        return self._graph.num_edges
+
+    def __len__(self) -> int:
+        return len(self._graph)
+
+    def __contains__(self, vertex: int) -> bool:
+        return vertex in self._graph
+
+    def __repr__(self) -> str:
+        return f"UnitWeightView({self._graph!r})"
+
+    def vertices(self) -> Iterator[int]:
+        return self._graph.vertices()
+
+    def has_vertex(self, vertex: int) -> bool:
+        return self._graph.has_vertex(vertex)
+
+    def has_edge(self, src: int, dst: int) -> bool:
+        return self._graph.has_edge(src, dst)
+
+    def edge_weight(self, src: int, dst: int) -> float:
+        # Raises the underlying errors for missing vertices/edges.
+        self._graph.edge_weight(src, dst)
+        return 1.0
+
+    def out_items(self, vertex: int) -> Iterator[Tuple[int, float]]:
+        for u, _w in self._graph.out_items(vertex):
+            yield u, 1.0
+
+    def in_items(self, vertex: int) -> Iterator[Tuple[int, float]]:
+        for u, _w in self._graph.in_items(vertex):
+            yield u, 1.0
+
+    def out_degree(self, vertex: int) -> int:
+        return self._graph.out_degree(vertex)
+
+    def in_degree(self, vertex: int) -> int:
+        return self._graph.in_degree(vertex)
+
+    def degree(self, vertex: int) -> int:
+        return self._graph.degree(vertex)
+
+    def edges(self) -> Iterator[Tuple[int, int, float]]:
+        for src, dst, _w in self._graph.edges():
+            yield src, dst, 1.0

@@ -1,0 +1,14 @@
+"""Streaming substrate: update batches, ingestion, incremental maintenance."""
+
+from repro.streaming.incremental_sssp import IncrementalBestPath
+from repro.streaming.ingest import IngestEngine, IngestStats
+from repro.streaming.update import EdgeUpdate, UpdateBatch, UpdateKind
+
+__all__ = [
+    "IncrementalBestPath",
+    "IngestEngine",
+    "IngestStats",
+    "EdgeUpdate",
+    "UpdateBatch",
+    "UpdateKind",
+]

@@ -1,0 +1,135 @@
+"""Epoch scheduler: deterministic interleaving of ingestion and queries.
+
+The paper's system ingests updates and answers queries *simultaneously* on a
+multicore server.  In a single-threaded Python reproduction, "simultaneous"
+is modelled as a deterministic epoch loop: each round applies one update
+batch (advancing the graph), then answers a batch of queries against the
+now-current state, recording per-round latency for both sides.  E8 sweeps
+the update rate and reports query-latency percentiles from the
+:class:`ScheduleReport`.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Iterable, Iterator, List, Sequence, Tuple
+
+from repro.core.stats import StatsAggregate
+from repro.errors import WorkloadError
+from repro.streaming.update import EdgeUpdate, UpdateBatch, batched
+
+
+@dataclass
+class RoundRecord:
+    """Timing for one scheduler round."""
+
+    epoch: int
+    updates_applied: int
+    update_seconds: float
+    queries_answered: int
+    query_seconds: float
+
+
+@dataclass
+class ScheduleReport:
+    """Aggregate outcome of a full scheduled run."""
+
+    rounds: List[RoundRecord] = field(default_factory=list)
+    query_stats: StatsAggregate = field(default_factory=StatsAggregate)
+
+    @property
+    def total_updates(self) -> int:
+        return sum(r.updates_applied for r in self.rounds)
+
+    @property
+    def total_queries(self) -> int:
+        return sum(r.queries_answered for r in self.rounds)
+
+    @property
+    def update_seconds(self) -> float:
+        return sum(r.update_seconds for r in self.rounds)
+
+    @property
+    def query_seconds(self) -> float:
+        return sum(r.query_seconds for r in self.rounds)
+
+    @property
+    def updates_per_second(self) -> float:
+        if self.update_seconds <= 0:
+            return 0.0
+        return self.total_updates / self.update_seconds
+
+    def as_row(self) -> dict:
+        return {
+            "rounds": len(self.rounds),
+            "updates": self.total_updates,
+            "queries": self.total_queries,
+            "ups": round(self.updates_per_second),
+            "q_mean_ms": round(1e3 * self.query_stats.mean_elapsed, 3),
+            "q_p99_ms": round(1e3 * self.query_stats.p(0.99), 3),
+        }
+
+
+class EpochScheduler:
+    """Interleaves an update stream with a query workload.
+
+    Parameters
+    ----------
+    sgraph:
+        An :class:`repro.SGraph` (or anything with ``apply_update`` taking an
+        :class:`EdgeUpdate` and a per-query callable interface).
+    query_fn:
+        Callable ``(source, target) -> QueryResult`` used for every query.
+    """
+
+    def __init__(self, sgraph, query_fn: Callable[[int, int], object]) -> None:
+        self._sgraph = sgraph
+        self._query_fn = query_fn
+
+    def run(
+        self,
+        updates: Iterable[EdgeUpdate],
+        query_pairs: Sequence[Tuple[int, int]],
+        updates_per_round: int,
+        queries_per_round: int,
+    ) -> ScheduleReport:
+        """Run the full schedule and return its report.
+
+        The query workload cycles if shorter than the schedule needs.
+        """
+        if updates_per_round < 1 or queries_per_round < 0:
+            raise WorkloadError("invalid round sizes")
+        if queries_per_round > 0 and not query_pairs:
+            raise WorkloadError("queries requested but no query pairs supplied")
+        report = ScheduleReport()
+        query_cursor = 0
+        for epoch, batch in enumerate(batched(updates, updates_per_round)):
+            start = time.perf_counter()
+            for update in batch:
+                self._sgraph.apply_update(update)
+            update_seconds = time.perf_counter() - start
+
+            query_seconds = 0.0
+            answered = 0
+            for _ in range(queries_per_round):
+                s, t = query_pairs[query_cursor % len(query_pairs)]
+                query_cursor += 1
+                q_start = time.perf_counter()
+                result = self._query_fn(s, t)
+                q_elapsed = time.perf_counter() - q_start
+                query_seconds += q_elapsed
+                answered += 1
+                stats = result.stats
+                stats.elapsed = q_elapsed
+                report.query_stats.add(stats)
+            report.rounds.append(
+                RoundRecord(
+                    epoch=epoch,
+                    updates_applied=len(batch),
+                    update_seconds=update_seconds,
+                    queries_answered=answered,
+                    query_seconds=query_seconds,
+                )
+            )
+        return report

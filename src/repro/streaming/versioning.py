@@ -1,0 +1,179 @@
+"""Versioned query views: answer pairwise queries *as of* a published epoch.
+
+Real-time OLAP systems let analysts query a consistent recent version while
+ingestion races ahead.  :class:`VersionedStore` provides that on top of the
+facade: :meth:`VersionedStore.publish` captures the current epoch — an
+immutable graph snapshot plus a frozen copy of every hub-index cost table —
+and keeps a bounded ring of versions.  :meth:`VersionedStore.view_at`
+returns a :class:`FrozenView` whose queries run the same pruned engine
+against that frozen state, unaffected by later churn.
+
+Publishing costs O(|V|·k) per indexed family (table copy); queries against a
+view cost the same as live queries.  This is the deterministic single-
+process stand-in for SGraph's snapshot-isolated concurrent reads.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import OrderedDict
+from typing import Dict, List, Optional
+
+from repro.core.engine import PairwiseEngine
+from repro.core.hub_index import HubIndex
+from repro.core.pairwise import QueryKind, QueryResult
+from repro.errors import ConfigError, SnapshotError
+from repro.graph.snapshot import GraphSnapshot
+from repro.graph.views import UnitWeightView
+
+
+class FrozenView:
+    """Read-only pairwise query surface over one published epoch."""
+
+    def __init__(
+        self,
+        snapshot: GraphSnapshot,
+        engines: Dict[str, PairwiseEngine],
+        label: Optional[str] = None,
+    ) -> None:
+        self._snapshot = snapshot
+        self._engines = engines
+        self.label = label
+
+    @property
+    def epoch(self) -> int:
+        return self._snapshot.epoch
+
+    @property
+    def snapshot(self) -> GraphSnapshot:
+        return self._snapshot
+
+    @property
+    def num_vertices(self) -> int:
+        return self._snapshot.num_vertices
+
+    @property
+    def num_edges(self) -> int:
+        return self._snapshot.num_edges
+
+    def __repr__(self) -> str:
+        tag = f", label={self.label!r}" if self.label else ""
+        return f"FrozenView(epoch={self.epoch}{tag})"
+
+    def _engine(self, family: str) -> PairwiseEngine:
+        try:
+            return self._engines[family]
+        except KeyError:
+            raise ConfigError(
+                f"family {family!r} was not indexed when this view was "
+                f"published; available: {sorted(self._engines)}"
+            ) from None
+
+    def _run(self, kind: QueryKind, family: str, source: int,
+             target: int) -> QueryResult:
+        engine = self._engine(family)
+        start = time.perf_counter()
+        value, stats = engine.best_cost(source, target)
+        stats.elapsed = time.perf_counter() - start
+        return QueryResult(kind=kind, source=source, target=target,
+                           value=value, stats=stats, epoch=self.epoch)
+
+    def distance(self, source: int, target: int) -> QueryResult:
+        """Weighted shortest-path cost at this epoch."""
+        return self._run(QueryKind.DISTANCE, "distance", source, target)
+
+    def hop_distance(self, source: int, target: int) -> QueryResult:
+        """Hop count at this epoch."""
+        return self._run(QueryKind.HOPS, "hops", source, target)
+
+    def bottleneck(self, source: int, target: int) -> QueryResult:
+        """Widest-path capacity at this epoch."""
+        return self._run(QueryKind.BOTTLENECK, "capacity", source, target)
+
+    def reachable(self, source: int, target: int) -> QueryResult:
+        """Path existence at this epoch."""
+        family = next(iter(self._engines))
+        engine = self._engines[family]
+        start = time.perf_counter()
+        exists, stats = engine.feasible(source, target)
+        stats.elapsed = time.perf_counter() - start
+        return QueryResult(kind=QueryKind.REACHABILITY, source=source,
+                           target=target, value=1.0 if exists else 0.0,
+                           stats=stats, epoch=self.epoch)
+
+
+class VersionedStore:
+    """Bounded ring of published epochs over one :class:`repro.SGraph`."""
+
+    def __init__(self, sgraph, capacity: int = 4) -> None:
+        if capacity < 1:
+            raise ConfigError("capacity must be >= 1")
+        self._sgraph = sgraph
+        self._capacity = capacity
+        self._views: "OrderedDict[int, FrozenView]" = OrderedDict()
+
+    @property
+    def capacity(self) -> int:
+        return self._capacity
+
+    def __len__(self) -> int:
+        return len(self._views)
+
+    def epochs(self) -> List[int]:
+        """Published epochs, oldest first."""
+        return list(self._views)
+
+    def publish(self, label: Optional[str] = None) -> FrozenView:
+        """Capture the facade's current state as an immutable version.
+
+        Evicts the oldest version beyond ``capacity``.  Publishing the same
+        epoch twice returns the existing view.
+        """
+        sg = self._sgraph
+        epoch = sg.epoch
+        existing = self._views.get(epoch)
+        if existing is not None:
+            return existing
+        snapshot = sg.graph.snapshot()
+        engines: Dict[str, PairwiseEngine] = {}
+        for family in sg.config.queries:
+            index = sg.index_for(family)
+            index.refresh()
+            fwd = {}
+            bwd = {}
+            for h in index.hubs:
+                fwd_tree = index.forward_tree(h)
+                fwd[h] = dict(fwd_tree.raw_cost_table())
+                bwd_tree = index.backward_tree(h)
+                if bwd_tree is not fwd_tree:
+                    bwd[h] = dict(bwd_tree.raw_cost_table())
+            view_graph = (UnitWeightView(snapshot) if family == "hops"
+                          else snapshot)
+            frozen_index = HubIndex.from_tables(
+                view_graph, index.hubs, index.semiring, fwd,
+                backward_tables=bwd if snapshot.directed else None,
+            )
+            engines[family] = PairwiseEngine(
+                view_graph, index=frozen_index, policy=sg.config.policy
+            )
+        view = FrozenView(snapshot, engines, label=label)
+        self._views[epoch] = view
+        while len(self._views) > self._capacity:
+            self._views.popitem(last=False)
+        return view
+
+    def view_at(self, epoch: int) -> FrozenView:
+        """The view published at exactly ``epoch``."""
+        try:
+            return self._views[epoch]
+        except KeyError:
+            raise SnapshotError(
+                f"epoch {epoch} is not published (or was evicted); "
+                f"published: {self.epochs()}"
+            ) from None
+
+    def latest(self) -> FrozenView:
+        """The most recently published view."""
+        if not self._views:
+            raise SnapshotError("no version has been published yet")
+        return next(reversed(self._views.values()))

@@ -1,0 +1,142 @@
+"""Indexed binary min-heap with decrease-key.
+
+Dijkstra-style searches dominate this library's runtime, and the classic
+``heapq`` lazy-deletion idiom allocates one tuple per *push* including stale
+ones.  This heap keys entries by an integer handle (vertex id) and supports
+``decrease`` in O(log n) without leaving stale entries behind, which keeps
+heap sizes equal to frontier sizes — that matters when we *count*
+activations for the pruning experiments.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Optional, Tuple
+
+
+class IndexedHeap:
+    """Min-heap of ``(priority, key)`` pairs with O(log n) decrease-key.
+
+    Keys are hashable (in practice: integer vertex ids).  Each key appears at
+    most once; pushing an existing key with a smaller priority updates it in
+    place, and pushing with a larger priority is ignored (the standard
+    relaxation contract).
+    """
+
+    __slots__ = ("_heap", "_pos")
+
+    def __init__(self) -> None:
+        self._heap: List[Tuple[float, int]] = []
+        self._pos: Dict[int, int] = {}
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    def __bool__(self) -> bool:
+        return bool(self._heap)
+
+    def __contains__(self, key: int) -> bool:
+        return key in self._pos
+
+    def __iter__(self) -> Iterator[Tuple[float, int]]:
+        """Iterate over (priority, key) pairs in arbitrary heap order."""
+        return iter(self._heap)
+
+    def priority(self, key: int) -> Optional[float]:
+        """Return the current priority of ``key``, or None if absent."""
+        idx = self._pos.get(key)
+        if idx is None:
+            return None
+        return self._heap[idx][0]
+
+    def push(self, key: int, priority: float) -> bool:
+        """Insert ``key`` or decrease its priority.
+
+        Returns True if the heap changed (new key, or a strictly smaller
+        priority for an existing key); False if the existing priority was
+        already <= the offered one.
+        """
+        idx = self._pos.get(key)
+        if idx is None:
+            self._heap.append((priority, key))
+            self._pos[key] = len(self._heap) - 1
+            self._sift_up(len(self._heap) - 1)
+            return True
+        if priority < self._heap[idx][0]:
+            self._heap[idx] = (priority, key)
+            self._sift_up(idx)
+            return True
+        return False
+
+    def pop(self) -> Tuple[int, float]:
+        """Remove and return ``(key, priority)`` with the smallest priority."""
+        if not self._heap:
+            raise IndexError("pop from empty IndexedHeap")
+        priority, key = self._heap[0]
+        del self._pos[key]
+        last = self._heap.pop()
+        if self._heap:
+            self._heap[0] = last
+            self._pos[last[1]] = 0
+            self._sift_down(0)
+        return key, priority
+
+    def peek(self) -> Tuple[int, float]:
+        """Return ``(key, priority)`` with the smallest priority, no removal."""
+        if not self._heap:
+            raise IndexError("peek at empty IndexedHeap")
+        priority, key = self._heap[0]
+        return key, priority
+
+    def remove(self, key: int) -> bool:
+        """Remove ``key`` if present.  Returns True if it was removed."""
+        idx = self._pos.pop(key, None)
+        if idx is None:
+            return False
+        last = self._heap.pop()
+        if idx < len(self._heap):
+            self._heap[idx] = last
+            self._pos[last[1]] = idx
+            # The replacement may need to move either direction.
+            self._sift_up(idx)
+            self._sift_down(self._pos[last[1]])
+        return True
+
+    def clear(self) -> None:
+        self._heap.clear()
+        self._pos.clear()
+
+    # -- internal sifting ---------------------------------------------------
+
+    def _sift_up(self, idx: int) -> None:
+        heap = self._heap
+        pos = self._pos
+        item = heap[idx]
+        while idx > 0:
+            parent = (idx - 1) >> 1
+            if heap[parent][0] <= item[0]:
+                break
+            heap[idx] = heap[parent]
+            pos[heap[idx][1]] = idx
+            idx = parent
+        heap[idx] = item
+        pos[item[1]] = idx
+
+    def _sift_down(self, idx: int) -> None:
+        heap = self._heap
+        pos = self._pos
+        size = len(heap)
+        item = heap[idx]
+        while True:
+            child = 2 * idx + 1
+            if child >= size:
+                break
+            right = child + 1
+            if right < size and heap[right][0] < heap[child][0]:
+                child = right
+            if heap[child][0] >= item[0]:
+                break
+            heap[idx] = heap[child]
+            pos[heap[idx][1]] = idx
+            idx = child
+        heap[idx] = item
+        pos[item[1]] = idx

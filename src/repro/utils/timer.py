@@ -1,0 +1,70 @@
+"""Wall-clock measurement helpers used by the benchmark harness."""
+
+from __future__ import annotations
+
+import time
+from typing import List, Optional
+
+
+class Stopwatch:
+    """Accumulating stopwatch with lap support.
+
+    Usage::
+
+        sw = Stopwatch()
+        with sw:
+            do_work()
+        sw.elapsed  # seconds
+
+    Each ``with`` block adds a lap; ``elapsed`` is the total across laps.
+    """
+
+    def __init__(self) -> None:
+        self._laps: List[float] = []
+        self._started_at: Optional[float] = None
+
+    def __enter__(self) -> "Stopwatch":
+        self.start()
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.stop()
+
+    def start(self) -> None:
+        if self._started_at is not None:
+            raise RuntimeError("stopwatch already running")
+        self._started_at = time.perf_counter()
+
+    def stop(self) -> float:
+        if self._started_at is None:
+            raise RuntimeError("stopwatch not running")
+        lap = time.perf_counter() - self._started_at
+        self._started_at = None
+        self._laps.append(lap)
+        return lap
+
+    @property
+    def elapsed(self) -> float:
+        """Total seconds across all completed laps."""
+        return sum(self._laps)
+
+    @property
+    def laps(self) -> List[float]:
+        return list(self._laps)
+
+    def reset(self) -> None:
+        self._laps.clear()
+        self._started_at = None
+
+
+def format_duration(seconds: float) -> str:
+    """Render a duration with a unit that keeps 3 significant digits legible."""
+    if seconds < 0:
+        raise ValueError("duration must be non-negative")
+    if seconds < 1e-6:
+        return f"{seconds * 1e9:.1f} ns"
+    if seconds < 1e-3:
+        return f"{seconds * 1e6:.1f} us"
+    if seconds < 1.0:
+        return f"{seconds * 1e3:.2f} ms"
+    return f"{seconds:.3f} s"

@@ -1,0 +1,83 @@
+"""AdaptiveEngine tests."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.adaptive import AdaptiveEngine
+from repro.core.hub_index import HubIndex
+from repro.core.semiring import BOTTLENECK_CAPACITY
+from repro.errors import ConfigError, QueryError
+from repro.graph.generators import erdos_renyi_graph, power_law_graph
+from tests.conftest import reference_dijkstra
+
+
+class TestConstruction:
+    def test_distance_only(self, triangle_graph):
+        index = HubIndex(triangle_graph, [0], semiring=BOTTLENECK_CAPACITY)
+        with pytest.raises(ConfigError):
+            AdaptiveEngine(triangle_graph, index)
+
+    def test_threshold_validation(self, triangle_graph):
+        index = HubIndex(triangle_graph, [0])
+        with pytest.raises(ConfigError):
+            AdaptiveEngine(triangle_graph, index, gap_threshold=0.5)
+        assert AdaptiveEngine(triangle_graph, index).gap_threshold == 2.5
+
+    def test_missing_endpoint(self, triangle_graph):
+        engine = AdaptiveEngine(triangle_graph, HubIndex(triangle_graph, [0]))
+        with pytest.raises(QueryError):
+            engine.best_cost(0, 99)
+
+
+class TestDispatch:
+    def test_exact_bounds_skip_search(self, line_graph):
+        engine = AdaptiveEngine(line_graph, HubIndex(line_graph, [0]))
+        value, stats = engine.best_cost(0, 4)
+        assert value == 4.0
+        assert stats.answered_by_index
+        assert engine.dispatch_counts()["index"] == 1
+
+    def test_unreachable_proof(self, two_components):
+        engine = AdaptiveEngine(two_components,
+                                HubIndex(two_components, [0, 2]))
+        value, stats = engine.best_cost(0, 3)
+        assert value == math.inf
+        assert stats.answered_by_index
+
+    def test_same_vertex(self, triangle_graph):
+        engine = AdaptiveEngine(triangle_graph, HubIndex(triangle_graph, [0]))
+        assert engine.best_cost(1, 1)[0] == 0.0
+
+    def test_threshold_extremes_control_dispatch(self):
+        graph = power_law_graph(400, 4, seed=4, weight_range=(1.0, 4.0))
+        index = HubIndex.build(graph, 8)
+        verts = sorted(graph.vertices())
+        pairs = [(verts[i], verts[-1 - i]) for i in range(10)]
+
+        always_pruned = AdaptiveEngine(graph, index, gap_threshold=1e9)
+        always_plain = AdaptiveEngine(graph, index, gap_threshold=1.0)
+        for s, t in pairs:
+            always_pruned.best_cost(s, t)
+            always_plain.best_cost(s, t)
+        assert always_pruned.dispatch_counts()["plain"] == 0
+        # gap==1.0 pairs are answered from the index, so only non-exact
+        # pairs reach dispatch — all of them must go plain.
+        assert always_plain.dispatch_counts()["pruned"] == 0
+
+    @given(st.integers(0, 10_000), st.floats(1.0, 5.0))
+    @settings(max_examples=10, deadline=None)
+    def test_always_exact(self, seed, threshold):
+        graph = erdos_renyi_graph(20, 36, seed=seed, weight_range=(1.0, 5.0))
+        hubs = sorted(graph.vertices(), key=graph.degree)[-3:]
+        engine = AdaptiveEngine(graph, HubIndex(graph, hubs),
+                                gap_threshold=threshold)
+        verts = sorted(graph.vertices())
+        ref = reference_dijkstra(graph, verts[0])
+        for t in verts[1:]:
+            value, _stats = engine.best_cost(verts[0], t)
+            assert value == pytest.approx(ref.get(t, math.inf))

@@ -1,0 +1,154 @@
+"""SCC / condensation / reachability-oracle tests (networkx as oracle)."""
+
+from __future__ import annotations
+
+import networkx as nx
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import GraphError
+from repro.graph.algorithms import (
+    ReachabilityOracle,
+    condensation,
+    strongly_connected_components,
+)
+from repro.graph.dynamic_graph import DynamicGraph
+from repro.graph.generators import erdos_renyi_graph, rmat_graph
+
+
+def _to_networkx(graph) -> nx.DiGraph:
+    nxg = nx.DiGraph()
+    nxg.add_nodes_from(graph.vertices())
+    if graph.directed:
+        nxg.add_edges_from((s, d) for s, d, _w in graph.edges())
+    else:
+        for s, d, _w in graph.edges():
+            nxg.add_edge(s, d)
+            nxg.add_edge(d, s)
+    return nxg
+
+
+class TestTarjan:
+    def test_simple_cycle(self):
+        g = DynamicGraph(directed=True)
+        g.add_edge(0, 1)
+        g.add_edge(1, 2)
+        g.add_edge(2, 0)
+        g.add_edge(2, 3)
+        comps = strongly_connected_components(g)
+        assert sorted(map(sorted, comps)) == [[0, 1, 2], [3]]
+
+    def test_dag_is_singletons(self):
+        g = DynamicGraph(directed=True)
+        for i in range(5):
+            g.add_edge(i, i + 1)
+        comps = strongly_connected_components(g)
+        assert sorted(len(c) for c in comps) == [1] * 6
+
+    def test_undirected_components(self, two_components):
+        comps = strongly_connected_components(two_components)
+        assert sorted(map(sorted, comps)) == [[0, 1], [2, 3]]
+
+    def test_reverse_topological_emission(self):
+        g = DynamicGraph(directed=True)
+        g.add_edge(0, 1)
+        g.add_edge(1, 2)
+        comps = strongly_connected_components(g)
+        # Sinks first: 2 before 1 before 0.
+        assert [c[0] for c in comps] == [2, 1, 0]
+
+    def test_deep_path_no_recursion_error(self):
+        g = DynamicGraph(directed=True)
+        for i in range(5000):
+            g.add_edge(i, i + 1)
+        comps = strongly_connected_components(g)
+        assert len(comps) == 5001
+
+    @given(st.integers(0, 10_000))
+    @settings(max_examples=15, deadline=None)
+    def test_matches_networkx(self, seed):
+        graph = erdos_renyi_graph(30, 90, seed=seed, directed=True)
+        mine = {frozenset(c) for c in strongly_connected_components(graph)}
+        theirs = {frozenset(c)
+                  for c in nx.strongly_connected_components(_to_networkx(graph))}
+        assert mine == theirs
+
+
+class TestCondensation:
+    def test_quotient_is_acyclic(self):
+        graph = rmat_graph(scale=7, edge_factor=4, seed=5, directed=True)
+        component_of, successors = condensation(graph)
+        nxg = nx.DiGraph()
+        nxg.add_nodes_from(range(len(successors)))
+        for cid, nexts in enumerate(successors):
+            for nxt in nexts:
+                nxg.add_edge(cid, nxt)
+        assert nx.is_directed_acyclic_graph(nxg)
+        assert set(component_of) == set(graph.vertices())
+
+    def test_no_self_loops(self):
+        g = DynamicGraph(directed=True)
+        g.add_edge(0, 1)
+        g.add_edge(1, 0)
+        _component_of, successors = condensation(g)
+        for cid, nexts in enumerate(successors):
+            assert cid not in nexts
+
+
+class TestReachabilityOracle:
+    def test_simple(self):
+        g = DynamicGraph(directed=True)
+        g.add_edge(0, 1)
+        g.add_edge(1, 2)
+        oracle = ReachabilityOracle(g)
+        assert oracle.reachable(0, 2)
+        assert not oracle.reachable(2, 0)
+        assert oracle.reachable(1, 1)
+
+    def test_same_component(self):
+        g = DynamicGraph(directed=True)
+        g.add_edge(0, 1)
+        g.add_edge(1, 0)
+        g.add_edge(1, 2)
+        oracle = ReachabilityOracle(g)
+        assert oracle.same_component(0, 1)
+        assert not oracle.same_component(1, 2)
+
+    def test_unknown_vertex(self):
+        g = DynamicGraph(directed=True)
+        g.add_edge(0, 1)
+        with pytest.raises(GraphError):
+            ReachabilityOracle(g).reachable(0, 99)
+
+    def test_epoch_recorded(self):
+        g = DynamicGraph(directed=True)
+        g.add_edge(0, 1)
+        assert ReachabilityOracle(g).epoch == g.epoch
+
+    @given(st.integers(0, 10_000))
+    @settings(max_examples=12, deadline=None)
+    def test_matches_networkx_closure(self, seed):
+        graph = erdos_renyi_graph(20, 50, seed=seed, directed=True)
+        oracle = ReachabilityOracle(graph)
+        nxg = _to_networkx(graph)
+        verts = sorted(graph.vertices())
+        for s in verts[:8]:
+            reachable_ref = nx.descendants(nxg, s) | {s}
+            for t in verts:
+                assert oracle.reachable(s, t) == (t in reachable_ref)
+
+    def test_agrees_with_sgraph_reachability(self):
+        graph = erdos_renyi_graph(60, 150, seed=3, directed=True,
+                                  weight_range=(1.0, 4.0))
+        from repro.core.config import SGraphConfig
+        from repro.sgraph import SGraph
+
+        sg = SGraph(graph=graph, config=SGraphConfig(num_hubs=4))
+        oracle = ReachabilityOracle(graph)
+        verts = sorted(graph.vertices())
+        for s in verts[:6]:
+            for t in verts[:20]:
+                if s == t:
+                    continue
+                assert bool(sg.reachable(s, t).value) == oracle.reachable(s, t)

@@ -1,0 +1,84 @@
+"""Approximate (bounded-error) distance query tests."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.config import SGraphConfig
+from repro.core.engine import PairwiseEngine
+from repro.core.hub_index import HubIndex
+from repro.core.semiring import BOTTLENECK_CAPACITY
+from repro.errors import ConfigError
+from repro.graph.generators import erdos_renyi_graph, power_law_graph
+from repro.graph.stats import sample_vertex_pairs
+from repro.sgraph import SGraph
+from tests.conftest import reference_dijkstra
+
+
+class TestValidation:
+    def test_negative_tolerance_rejected(self, triangle_graph):
+        engine = PairwiseEngine(triangle_graph, policy="none")
+        with pytest.raises(ConfigError):
+            engine.best_cost(0, 2, tolerance=-0.1)
+
+    def test_capacity_tolerance_rejected(self, triangle_graph):
+        index = HubIndex(triangle_graph, [0], semiring=BOTTLENECK_CAPACITY)
+        engine = PairwiseEngine(triangle_graph, index=index)
+        with pytest.raises(ConfigError):
+            engine.best_cost(0, 2, tolerance=0.1)
+
+    def test_zero_tolerance_is_exact(self, triangle_graph):
+        index = HubIndex(triangle_graph, [1])
+        engine = PairwiseEngine(triangle_graph, index=index)
+        assert engine.best_cost(0, 2, tolerance=0.0)[0] == 3.0
+
+
+class TestGuarantee:
+    @given(st.integers(0, 10_000), st.floats(0.0, 1.0))
+    @settings(max_examples=15, deadline=None)
+    def test_within_factor_of_optimum(self, seed, tolerance):
+        graph = erdos_renyi_graph(20, 36, seed=seed, weight_range=(1.0, 5.0))
+        hubs = sorted(graph.vertices(), key=graph.degree)[-3:]
+        index = HubIndex(graph, hubs)
+        engine = PairwiseEngine(graph, index=index)
+        verts = sorted(graph.vertices())
+        ref = reference_dijkstra(graph, verts[0])
+        for t in verts[1:]:
+            opt = ref.get(t, math.inf)
+            value, _stats = engine.best_cost(verts[0], t, tolerance=tolerance)
+            if opt == math.inf:
+                assert value == math.inf
+            else:
+                assert opt - 1e-9 <= value <= (1.0 + tolerance) * opt + 1e-9
+
+    def test_tolerance_reduces_work(self):
+        graph = power_law_graph(1500, 5, seed=3, weight_range=(1.0, 4.0))
+        index = HubIndex.build(graph, 16)
+        engine = PairwiseEngine(graph, index=index)
+        pairs = sample_vertex_pairs(graph, 20, seed=4, min_hops=2)
+        exact_act = approx_act = 0
+        approx_from_index = 0
+        for s, t in pairs:
+            _v, st_exact = engine.best_cost(s, t)
+            _v, st_approx = engine.best_cost(s, t, tolerance=1.0)
+            exact_act += st_exact.activations
+            approx_act += st_approx.activations
+            if st_approx.answered_by_index:
+                approx_from_index += 1
+        assert approx_act < exact_act
+        assert approx_from_index > 0  # some queries close from bounds alone
+
+
+class TestFacade:
+    def test_facade_tolerance(self):
+        graph = power_law_graph(400, 4, seed=5, weight_range=(1.0, 4.0))
+        sg = SGraph(graph=graph, config=SGraphConfig(num_hubs=8))
+        pairs = sample_vertex_pairs(graph, 10, seed=6)
+        for s, t in pairs:
+            exact = sg.distance(s, t).value
+            approx = sg.distance(s, t, tolerance=0.5).value
+            assert exact <= approx <= 1.5 * exact + 1e-9

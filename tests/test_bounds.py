@@ -1,0 +1,157 @@
+"""QueryBounds soundness: UB is a witness, residuals never overshoot truth.
+
+These are the properties the whole pruning approach rests on, so they are
+checked exhaustively on small random graphs against a brute-force oracle.
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.bounds import QueryBounds
+from repro.core.hub_index import HubIndex
+from repro.core.semiring import BOTTLENECK_CAPACITY
+from repro.graph.dynamic_graph import DynamicGraph
+from repro.graph.generators import erdos_renyi_graph, power_law_graph
+from tests.conftest import reference_dijkstra, reference_widest
+
+
+class TestDistanceBounds:
+    def test_upper_bound_is_witness(self, triangle_graph):
+        index = HubIndex(triangle_graph, [1])
+        bounds = QueryBounds(index, 0, 2)
+        # s→h→t through hub 1: 1.0 + 2.0 = 3.0 (also the true distance).
+        assert bounds.upper_bound == 3.0
+        # |d(h,t) - d(h,s)| = |2 - 1| = 1: valid but not tight here.
+        assert bounds.lower_bound() == 1.0
+        assert not bounds.is_exact()
+
+    def test_endpoint_hub_gives_exactness(self, line_graph):
+        index = HubIndex(line_graph, [0])
+        bounds = QueryBounds(index, 0, 4)
+        assert bounds.upper_bound == 4.0
+        assert bounds.is_exact()
+
+    def test_unreachable_proof(self, two_components):
+        index = HubIndex(two_components, [0])
+        bounds = QueryBounds(index, 0, 2)
+        assert bounds.upper_bound == math.inf
+        assert bounds.lower_bound() == math.inf
+        assert bounds.proves_unreachable()
+        assert bounds.is_exact()
+
+    def test_no_information_is_trivial(self, two_components):
+        # Hub in the other component knows nothing about this pair.
+        index = HubIndex(two_components, [2])
+        bounds = QueryBounds(index, 0, 1)
+        assert bounds.upper_bound == math.inf
+        assert bounds.lower_bound() == 0.0
+        assert not bounds.is_exact()
+
+    def test_residual_backward_roles(self, line_graph):
+        index = HubIndex(line_graph, [4])
+        bounds = QueryBounds(index, 0, 4)
+        # Bound on d(0, v) via hub 4: |d(4,0) - d(4,v)| = |4 - (4-v)| = v.
+        for v in range(5):
+            assert bounds.residual_backward(v) == pytest.approx(float(v))
+
+
+def _bounds_sound_for_graph(graph, hubs, num_checks=None):
+    index = HubIndex(graph, hubs)
+    truth = {v: reference_dijkstra(graph, v) for v in graph.vertices()}
+    verts = sorted(graph.vertices())
+    for s in verts:
+        for t in verts:
+            if s == t:
+                continue
+            bounds = QueryBounds(index, s, t)
+            true_st = truth[s].get(t, math.inf)
+            assert bounds.upper_bound >= true_st - 1e-9
+            lb = bounds.lower_bound()
+            assert lb <= true_st + 1e-9, (s, t, lb, true_st)
+            for v in verts:
+                r_f = bounds.residual_forward(v)
+                true_vt = truth[v].get(t, math.inf)
+                assert r_f <= true_vt + 1e-9, (
+                    f"forward residual overshoots: v={v} t={t} "
+                    f"r={r_f} true={true_vt}"
+                )
+                r_b = bounds.residual_backward(v)
+                true_sv = truth[s].get(v, math.inf)
+                assert r_b <= true_sv + 1e-9, (
+                    f"backward residual overshoots: s={s} v={v} "
+                    f"r={r_b} true={true_sv}"
+                )
+
+
+@given(st.integers(0, 10_000))
+@settings(max_examples=15, deadline=None)
+def test_distance_bounds_sound_random_undirected(seed):
+    graph = erdos_renyi_graph(14, 22, seed=seed, weight_range=(1.0, 5.0))
+    hubs = sorted(graph.vertices(), key=graph.degree)[-3:]
+    _bounds_sound_for_graph(graph, hubs)
+
+
+@given(st.integers(0, 10_000))
+@settings(max_examples=12, deadline=None)
+def test_distance_bounds_sound_random_directed(seed):
+    graph = erdos_renyi_graph(12, 40, seed=seed, directed=True,
+                              weight_range=(1.0, 5.0))
+    hubs = list(graph.vertices())[:3]
+    _bounds_sound_for_graph(graph, hubs)
+
+
+@given(st.integers(0, 10_000))
+@settings(max_examples=10, deadline=None)
+def test_prunable_agrees_with_residual_semantics(seed):
+    """prunable_forward/backward must match the unspecialized definition."""
+    graph = erdos_renyi_graph(14, 24, seed=seed, weight_range=(1.0, 5.0))
+    hubs = list(graph.vertices())[:3]
+    index = HubIndex(graph, hubs)
+    verts = sorted(graph.vertices())
+    import random
+
+    rng = random.Random(seed)
+    for _ in range(30):
+        s, t, v = rng.choice(verts), rng.choice(verts), rng.choice(verts)
+        if s == t:
+            continue
+        bounds = QueryBounds(index, s, t)
+        cost = rng.uniform(0.0, 10.0)
+        incumbent = rng.choice([rng.uniform(0.0, 15.0), math.inf])
+        expected_f = not (cost + bounds.residual_forward(v) < incumbent)
+        assert bounds.prunable_forward(v, cost, incumbent) == expected_f
+        expected_b = not (cost + bounds.residual_backward(v) < incumbent)
+        assert bounds.prunable_backward(v, cost, incumbent) == expected_b
+
+
+class TestCapacityBounds:
+    def test_upper_bound_is_witness_capacity(self, triangle_graph):
+        index = HubIndex(triangle_graph, [1], semiring=BOTTLENECK_CAPACITY)
+        bounds = QueryBounds(index, 0, 2)
+        # Witness through hub 1: min(cap(0⇝1), cap(1⇝2)) = min(2, 2) = 2
+        # (cap(0⇝1) = 2 via the detour 0-2-1); the true widest 0⇝2 is 4.
+        assert bounds.upper_bound == 2.0
+
+    @given(st.integers(0, 10_000))
+    @settings(max_examples=10, deadline=None)
+    def test_capacity_bounds_sound(self, seed):
+        graph = erdos_renyi_graph(12, 20, seed=seed, weight_range=(1.0, 5.0))
+        hubs = list(graph.vertices())[:3]
+        index = HubIndex(graph, hubs, semiring=BOTTLENECK_CAPACITY)
+        truth = {v: reference_widest(graph, v) for v in graph.vertices()}
+        verts = sorted(graph.vertices())
+        for s in verts[:6]:
+            for t in verts[:6]:
+                if s == t:
+                    continue
+                bounds = QueryBounds(index, s, t)
+                true_st = truth[s].get(t, -math.inf)
+                # witness path: never better than the true optimum
+                assert bounds.upper_bound <= true_st + 1e-9
+                # residual: optimistic, never below the truth
+                assert bounds.residual_forward(s) >= true_st - 1e-9

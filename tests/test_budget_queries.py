@@ -1,0 +1,113 @@
+"""Budget-threshold query tests (within_budget / within_distance)."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.config import SGraphConfig
+from repro.core.engine import PairwiseEngine
+from repro.core.hub_index import HubIndex
+from repro.core.semiring import BOTTLENECK_CAPACITY
+from repro.errors import ConfigError, QueryError
+from repro.graph.generators import erdos_renyi_graph, power_law_graph
+from repro.graph.stats import sample_vertex_pairs
+from repro.sgraph import SGraph
+from tests.conftest import reference_dijkstra, reference_widest
+
+
+class TestEngineWithinBudget:
+    def test_distance_thresholds(self, triangle_graph):
+        index = HubIndex(triangle_graph, [1])
+        engine = PairwiseEngine(triangle_graph, index=index)
+        # d(0, 2) = 3.0
+        assert engine.within_budget(0, 2, 3.0)[0]
+        assert engine.within_budget(0, 2, 10.0)[0]
+        assert not engine.within_budget(0, 2, 2.9)[0]
+
+    def test_capacity_thresholds(self, triangle_graph):
+        index = HubIndex(triangle_graph, [1], semiring=BOTTLENECK_CAPACITY)
+        engine = PairwiseEngine(triangle_graph, index=index)
+        # cap(0, 2) = 4.0 (direct edge)
+        assert engine.within_budget(0, 2, 4.0)[0]
+        assert engine.within_budget(0, 2, 1.0)[0]
+        assert not engine.within_budget(0, 2, 4.5)[0]
+
+    def test_same_vertex(self, triangle_graph):
+        engine = PairwiseEngine(triangle_graph, policy="none")
+        assert engine.within_budget(0, 0, 0.0)[0]
+        ok, _stats = engine.within_budget(0, 0, -1.0)
+        assert not ok  # distance 0 exceeds a negative budget
+
+    def test_unreachable_pair(self, two_components):
+        index = HubIndex(two_components, [0, 2])
+        engine = PairwiseEngine(two_components, index=index)
+        ok, stats = engine.within_budget(0, 3, 1e9)
+        assert not ok
+        assert stats.answered_by_index  # unreachability proof
+
+    def test_missing_endpoint(self, triangle_graph):
+        engine = PairwiseEngine(triangle_graph, policy="none")
+        with pytest.raises(QueryError):
+            engine.within_budget(0, 99, 1.0)
+
+    def test_index_short_circuits(self):
+        graph = power_law_graph(800, 4, seed=9, weight_range=(1.0, 4.0))
+        index = HubIndex.build(graph, 16)
+        engine = PairwiseEngine(graph, index=index)
+        pairs = sample_vertex_pairs(graph, 20, seed=10, min_hops=2)
+        from_index = 0
+        for s, t in pairs:
+            exact, _ = engine.best_cost(s, t)
+            # Generous and hopeless budgets should mostly skip the search.
+            ok_hi, st_hi = engine.within_budget(s, t, exact * 4)
+            ok_lo, st_lo = engine.within_budget(s, t, exact / 4)
+            assert ok_hi and not ok_lo
+            from_index += st_hi.answered_by_index + st_lo.answered_by_index
+        assert from_index > len(pairs)  # more than half decided by bounds
+
+    @given(st.integers(0, 10_000), st.floats(0.5, 20.0))
+    @settings(max_examples=12, deadline=None)
+    def test_matches_exact_distance(self, seed, budget):
+        graph = erdos_renyi_graph(18, 30, seed=seed, weight_range=(1.0, 5.0))
+        hubs = sorted(graph.vertices(), key=graph.degree)[-3:]
+        index = HubIndex(graph, hubs)
+        engine = PairwiseEngine(graph, index=index)
+        verts = sorted(graph.vertices())
+        ref = reference_dijkstra(graph, verts[0])
+        for t in verts[1:]:
+            expected = ref.get(t, math.inf) <= budget
+            assert engine.within_budget(verts[0], t, budget)[0] == expected
+
+    @given(st.integers(0, 10_000), st.floats(0.5, 6.0))
+    @settings(max_examples=8, deadline=None)
+    def test_matches_exact_capacity(self, seed, budget):
+        graph = erdos_renyi_graph(14, 24, seed=seed, weight_range=(1.0, 5.0))
+        hubs = list(graph.vertices())[:3]
+        index = HubIndex(graph, hubs, semiring=BOTTLENECK_CAPACITY)
+        engine = PairwiseEngine(graph, index=index)
+        verts = sorted(graph.vertices())
+        ref = reference_widest(graph, verts[0])
+        for t in verts[1:]:
+            expected = ref.get(t, -math.inf) >= budget
+            assert engine.within_budget(verts[0], t, budget)[0] == expected
+
+
+class TestFacadeBudget:
+    def test_within_distance(self, triangle_graph):
+        sg = SGraph(graph=triangle_graph,
+                    config=SGraphConfig(num_hubs=2,
+                                        queries=("distance", "capacity")))
+        assert sg.within_distance(0, 2, 3.0).value == 1.0
+        assert sg.within_distance(0, 2, 2.0).value == 0.0
+        assert sg.capacity_at_least(0, 2, 4.0).value == 1.0
+        assert sg.capacity_at_least(0, 2, 9.0).value == 0.0
+
+    def test_missing_family(self, triangle_graph):
+        sg = SGraph(graph=triangle_graph,
+                    config=SGraphConfig(queries=("distance",)))
+        with pytest.raises(ConfigError):
+            sg.capacity_at_least(0, 2, 1.0)

@@ -1,0 +1,124 @@
+"""QueryCache and facade caching tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.cache import QueryCache
+from repro.core.config import SGraphConfig
+from repro.errors import ConfigError
+from repro.graph.generators import power_law_graph
+from repro.sgraph import SGraph
+
+
+class TestQueryCache:
+    def test_miss_then_hit(self):
+        cache = QueryCache(4)
+        assert cache.get("k", epoch=1) is None
+        cache.put("k", 1, "value")
+        assert cache.get("k", epoch=1) == "value"
+        assert cache.hits == 1
+        assert cache.misses == 1
+
+    def test_epoch_invalidation(self):
+        cache = QueryCache(4)
+        cache.put("k", 1, "old")
+        assert cache.get("k", epoch=2) is None
+        assert cache.stale == 1
+        assert len(cache) == 0  # stale entry dropped
+
+    def test_lru_eviction(self):
+        cache = QueryCache(2)
+        cache.put("a", 1, 1)
+        cache.put("b", 1, 2)
+        cache.get("a", 1)        # refresh a
+        cache.put("c", 1, 3)     # evicts b
+        assert cache.get("b", 1) is None
+        assert cache.get("a", 1) == 1
+        assert cache.get("c", 1) == 3
+
+    def test_capacity_validation(self):
+        with pytest.raises(ConfigError):
+            QueryCache(0)
+
+    def test_stats_row(self):
+        cache = QueryCache(2)
+        cache.put("a", 1, 1)
+        cache.get("a", 1)
+        cache.get("x", 1)
+        row = cache.stats_row()
+        assert row["hits"] == 1
+        assert row["misses"] == 1
+        assert row["hit%"] == 50.0
+
+    def test_clear(self):
+        cache = QueryCache(2)
+        cache.put("a", 1, 1)
+        cache.clear()
+        assert len(cache) == 0
+
+
+class TestFacadeCaching:
+    @pytest.fixture
+    def sg(self):
+        graph = power_law_graph(300, 3, seed=7, weight_range=(1.0, 4.0))
+        return SGraph(graph=graph,
+                      config=SGraphConfig(num_hubs=4, cache_size=32))
+
+    def test_repeat_query_hits(self, sg):
+        verts = sorted(sg.graph.vertices())
+        s, t = verts[0], verts[100]
+        first = sg.distance(s, t)
+        second = sg.distance(s, t)
+        assert second.value == first.value
+        assert sg.cache.hits == 1
+
+    def test_mutation_invalidates(self, sg):
+        verts = sorted(sg.graph.vertices())
+        s, t = verts[0], verts[100]
+        before = sg.distance(s, t).value
+        sg.add_edge(s, t, 0.5)
+        after = sg.distance(s, t)
+        assert after.value == 0.5
+        assert after.value != before or before == 0.5
+        assert sg.cache.hits == 0
+
+    def test_tolerance_keys_separate(self, sg):
+        verts = sorted(sg.graph.vertices())
+        s, t = verts[0], verts[100]
+        exact = sg.distance(s, t).value
+        approx = sg.distance(s, t, tolerance=1.0).value
+        assert approx >= exact
+        # Each variant cached under its own key.
+        sg.distance(s, t)
+        sg.distance(s, t, tolerance=1.0)
+        assert sg.cache.hits == 2
+
+    def test_cache_disabled_by_default(self):
+        graph = power_law_graph(100, 3, seed=8)
+        sg = SGraph(graph=graph, config=SGraphConfig(num_hubs=2))
+        assert sg.cache is None
+        verts = sorted(graph.vertices())
+        sg.distance(verts[0], verts[1])  # works without a cache
+
+    def test_cached_results_correct_under_churn(self, sg):
+        import random
+
+        from repro.baselines.dijkstra import dijkstra_distance
+
+        rng = random.Random(11)
+        verts = sorted(sg.graph.vertices())
+        pairs = [tuple(rng.sample(verts, 2)) for _ in range(6)]
+        for round_ in range(8):
+            u, v = rng.sample(verts, 2)
+            if sg.graph.has_edge(u, v) and rng.random() < 0.5:
+                sg.remove_edge(u, v)
+            else:
+                sg.add_edge(u, v, rng.uniform(1.0, 4.0))
+            for s, t in pairs:
+                got = sg.distance(s, t).value       # fills cache
+                again = sg.distance(s, t).value     # cache hit
+                ref, _stats = dijkstra_distance(sg.graph, s, t)
+                assert got == pytest.approx(ref)
+                assert again == pytest.approx(ref)
+        assert sg.cache.hits > 0

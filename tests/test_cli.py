@@ -1,0 +1,63 @@
+"""CLI tests (invoked in-process through main())."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_unknown_dataset_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["profile", "nope"])
+
+
+class TestCommands:
+    def test_datasets(self, capsys):
+        assert main(["datasets"]) == 0
+        out = capsys.readouterr().out
+        assert "social-pl" in out
+        assert "|V|" in out
+
+    def test_profile(self, capsys):
+        assert main(["profile", "collab-sw"]) == 0
+        out = capsys.readouterr().out
+        assert "collab-sw" in out
+
+    def test_query_distance_with_path(self, capsys):
+        assert main([
+            "query", "collab-sw", "0", "25", "--hubs", "4", "--path",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "distance(0, 25)" in out
+        assert "path:" in out
+
+    def test_query_bottleneck(self, capsys):
+        assert main([
+            "query", "collab-sw", "0", "25", "--kind", "bottleneck",
+            "--hubs", "4",
+        ]) == 0
+        assert "bottleneck(0, 25)" in capsys.readouterr().out
+
+    def test_experiment_e1(self, capsys):
+        assert main(["experiment", "e1"]) == 0
+        assert "dataset" in capsys.readouterr().out
+
+    def test_experiment_unknown(self, capsys):
+        assert main(["experiment", "e99"]) == 2
+        assert "unknown experiment" in capsys.readouterr().err
+
+    def test_record_then_replay(self, capsys, tmp_path):
+        trace = str(tmp_path / "w.trace")
+        assert main(["record", "collab-sw", trace,
+                     "--updates", "40", "--queries", "6"]) == 0
+        assert "recorded" in capsys.readouterr().out
+        assert main(["replay", "collab-sw", trace, "--hubs", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "replayed 40 updates, 6 queries" in out
+        assert "activations/query" in out

@@ -1,0 +1,99 @@
+"""CSRGraph materialization tests."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.errors import VertexNotFoundError
+from repro.graph.csr import CSRGraph
+from repro.graph.generators import erdos_renyi_graph, power_law_graph
+from tests.conftest import reference_dijkstra
+
+
+class TestConstruction:
+    def test_counts(self, triangle_graph):
+        csr = triangle_graph.snapshot().to_csr()
+        assert csr.num_vertices == 3
+        # Undirected: each edge stored as two arcs.
+        assert csr.num_arcs == 6
+        assert len(csr) == 3
+
+    def test_id_round_trip(self, small_powerlaw):
+        csr = small_powerlaw.snapshot().to_csr()
+        for v in small_powerlaw.vertices():
+            assert csr.vertex_id(csr.dense_id(v)) == v
+
+    def test_dense_id_missing_raises(self, triangle_graph):
+        csr = triangle_graph.snapshot().to_csr()
+        with pytest.raises(VertexNotFoundError):
+            csr.dense_id(99)
+
+    def test_arcs_match_adjacency(self, triangle_graph):
+        csr = triangle_graph.snapshot().to_csr()
+        for v in triangle_graph.vertices():
+            expected = {
+                csr.dense_id(u): w for u, w in triangle_graph.out_items(v)
+            }
+            got = dict(csr.out_arcs(csr.dense_id(v)))
+            assert got == expected
+
+    def test_directed_reverse_arcs(self, directed_diamond):
+        csr = directed_diamond.snapshot().to_csr()
+        d3 = csr.dense_id(3)
+        incoming = {csr.vertex_id(u) for u, _w in csr.in_arcs(d3)}
+        assert incoming == {1, 2}
+
+    def test_undirected_reverse_aliases_forward(self, triangle_graph):
+        csr = triangle_graph.snapshot().to_csr()
+        assert csr.rev_indptr is csr.indptr
+
+    def test_epoch_carried(self, triangle_graph):
+        snap = triangle_graph.snapshot()
+        assert snap.to_csr().epoch == snap.epoch
+
+    def test_sorted_indices_within_rows(self, small_powerlaw):
+        csr = small_powerlaw.snapshot().to_csr()
+        for v in range(csr.num_vertices):
+            row = csr.indices[csr.indptr[v]:csr.indptr[v + 1]]
+            assert np.all(np.diff(row) >= 0)
+
+
+class TestSSSP:
+    def test_matches_reference_undirected(self, small_powerlaw):
+        csr = small_powerlaw.snapshot().to_csr()
+        source = next(iter(small_powerlaw.vertices()))
+        ref = reference_dijkstra(small_powerlaw, source)
+        dist = csr.sssp(source)
+        for v in small_powerlaw.vertices():
+            got = dist[csr.dense_id(v)]
+            expected = ref.get(v, math.inf)
+            assert got == pytest.approx(expected)
+
+    def test_backward_on_directed(self):
+        g = erdos_renyi_graph(60, 240, seed=3, directed=True,
+                              weight_range=(1.0, 4.0))
+        csr = g.snapshot().to_csr()
+        target = next(iter(g.vertices()))
+        dist_to = csr.sssp(target, backward=True)
+        # Oracle: forward Dijkstra on the explicitly reversed graph.
+        from repro.graph.dynamic_graph import DynamicGraph
+
+        rev = DynamicGraph(directed=True)
+        for v in g.vertices():
+            rev.add_vertex(v)
+        for s, d, w in g.edges():
+            rev.add_edge(d, s, w)
+        ref = reference_dijkstra(rev, target)
+        for v in g.vertices():
+            assert dist_to[csr.dense_id(v)] == pytest.approx(
+                ref.get(v, math.inf)
+            )
+
+    def test_unreachable_is_inf(self, two_components):
+        csr = two_components.snapshot().to_csr()
+        dist = csr.sssp(0)
+        assert dist[csr.dense_id(2)] == math.inf
+        assert dist[csr.dense_id(1)] == 1.0

@@ -1,0 +1,142 @@
+"""Edge-case hardening across modules: empty/tiny/degenerate inputs."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.core.config import SGraphConfig
+from repro.core.engine import PairwiseEngine
+from repro.core.hub_index import HubIndex
+from repro.errors import QueryError
+from repro.graph.dynamic_graph import DynamicGraph
+from repro.persist import load_sgraph, save_sgraph
+from repro.sgraph import SGraph
+
+
+class TestTinyGraphs:
+    def test_single_vertex_graph(self):
+        g = DynamicGraph()
+        g.add_vertex(0)
+        sg = SGraph(graph=g, config=SGraphConfig(num_hubs=4))
+        assert sg.distance(0, 0).value == 0.0
+        with pytest.raises(QueryError):
+            sg.distance(0, 1)
+
+    def test_single_edge_graph(self):
+        sg = SGraph.from_edges([(0, 1, 2.0)], config=SGraphConfig(num_hubs=8))
+        assert sg.distance(0, 1).value == 2.0
+        assert sg.shortest_path(0, 1).path == [0, 1]
+        assert sg.nearest(0, 5) == [(1, 2.0)]
+
+    def test_self_loop_does_not_affect_paths(self):
+        g = DynamicGraph()
+        g.add_edge(0, 1, 2.0)
+        g.add_edge(0, 0, 0.5)
+        sg = SGraph(graph=g, config=SGraphConfig(num_hubs=2))
+        assert sg.distance(0, 1).value == 2.0
+        assert sg.distance(0, 0).value == 0.0
+
+    def test_star_center_hub(self):
+        g = DynamicGraph()
+        for leaf in range(1, 30):
+            g.add_edge(0, leaf, 1.0)
+        sg = SGraph(graph=g, config=SGraphConfig(num_hubs=1))
+        result = sg.distance(5, 17)
+        assert result.value == 2.0
+        # A midpoint hub gives UB=2 but LB=|1-1|=0 — bounds don't close,
+        # yet the search is still tiny (the hub witness prunes everything).
+        assert result.stats.activations <= 3
+
+    def test_isolated_query_endpoint(self):
+        g = DynamicGraph()
+        g.add_edge(0, 1, 1.0)
+        g.add_vertex(9)
+        sg = SGraph(graph=g, config=SGraphConfig(num_hubs=2))
+        assert sg.distance(0, 9).value == math.inf
+        assert sg.shortest_path(9, 0).path is None
+        assert sg.reachable(9, 9).value == 1.0
+
+
+class TestDegenerateIndexes:
+    def test_hub_in_small_component(self, two_components):
+        # Hub lives in the component the queries avoid: bounds are trivial
+        # but answers must remain exact.
+        index = HubIndex(two_components, [2])
+        engine = PairwiseEngine(two_components, index=index)
+        assert engine.best_cost(0, 1)[0] == 1.0
+        assert engine.best_cost(0, 3)[0] == math.inf
+
+    def test_all_vertices_are_hubs(self, triangle_graph):
+        index = HubIndex(triangle_graph, [0, 1, 2])
+        engine = PairwiseEngine(triangle_graph, index=index)
+        for s in range(3):
+            for t in range(3):
+                value, stats = engine.best_cost(s, t)
+                assert stats.answered_by_index  # full coverage closes all
+
+    def test_churn_to_empty_and_back(self):
+        sg = SGraph.from_edges([(0, 1, 1.0), (1, 2, 1.0)],
+                               config=SGraphConfig(num_hubs=2))
+        assert sg.distance(0, 2).value == 2.0
+        sg.remove_edge(0, 1)
+        sg.remove_edge(1, 2)
+        assert sg.num_edges == 0
+        assert sg.distance(0, 2).value == math.inf
+        sg.add_edge(0, 2, 7.0)
+        assert sg.distance(0, 2).value == 7.0
+
+
+class TestPersistCorners:
+    def test_directed_with_hops_family(self, tmp_path):
+        from repro.graph.generators import erdos_renyi_graph
+
+        graph = erdos_renyi_graph(40, 160, seed=9, directed=True,
+                                  weight_range=(1.0, 4.0))
+        sg = SGraph(graph=graph,
+                    config=SGraphConfig(num_hubs=3,
+                                        queries=("distance", "hops")))
+        sg.rebuild_indexes()
+        save_sgraph(sg, tmp_path / "d")
+        restored = load_sgraph(tmp_path / "d", verify=True)
+        verts = sorted(graph.vertices())
+        for t in verts[1:12]:
+            assert restored.hop_distance(verts[0], t).value == sg.hop_distance(
+                verts[0], t
+            ).value
+
+    def test_empty_graph_save(self, tmp_path):
+        sg = SGraph()
+        save_sgraph(sg, tmp_path / "empty")
+        restored = load_sgraph(tmp_path / "empty")
+        assert restored.num_vertices == 0
+
+
+class TestStatsCorners:
+    def test_merge_accumulates(self):
+        from repro.core.stats import QueryStats
+
+        a = QueryStats(activations=2, pushes=3, relaxations=4,
+                       pruned_by_lower_bound=1, elapsed=0.5)
+        b = QueryStats(activations=5, pushes=1, relaxations=2,
+                       pruned_by_upper_bound=2, elapsed=0.25)
+        a.merge(b)
+        assert a.activations == 7
+        assert a.pushes == 4
+        assert a.pruned_by_upper_bound == 2
+        assert a.elapsed == 0.75
+
+    def test_aggregate_empty(self):
+        from repro.core.stats import StatsAggregate
+
+        agg = StatsAggregate()
+        assert agg.mean_activations == 0.0
+        assert agg.mean_elapsed == 0.0
+        assert agg.p(0.5) == 0.0
+        assert agg.mean_activation_fraction(0) == 0.0
+
+    def test_activation_fraction_zero_vertices(self):
+        from repro.core.stats import QueryStats
+
+        assert QueryStats(activations=5).activation_fraction(0) == 0.0

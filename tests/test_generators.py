@@ -1,0 +1,152 @@
+"""Graph-generator property tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.graph.generators import (
+    erdos_renyi_graph,
+    grid_graph,
+    power_law_graph,
+    rmat_graph,
+    small_world_graph,
+)
+from repro.graph.stats import degree_sequence, degree_skew
+
+
+class TestErdosRenyi:
+    def test_exact_edge_count(self):
+        g = erdos_renyi_graph(50, 120, seed=1)
+        assert g.num_vertices == 50
+        assert g.num_edges == 120
+
+    def test_deterministic(self):
+        a = erdos_renyi_graph(40, 80, seed=7)
+        b = erdos_renyi_graph(40, 80, seed=7)
+        assert sorted(a.edge_list()) == sorted(b.edge_list())
+
+    def test_seed_changes_graph(self):
+        a = erdos_renyi_graph(40, 80, seed=7)
+        b = erdos_renyi_graph(40, 80, seed=8)
+        assert sorted(a.edge_list()) != sorted(b.edge_list())
+
+    def test_directed(self):
+        g = erdos_renyi_graph(20, 100, seed=2, directed=True)
+        assert g.directed
+        assert g.num_edges == 100
+
+    def test_too_many_edges_raises(self):
+        with pytest.raises(ConfigError):
+            erdos_renyi_graph(5, 11, seed=1)
+
+    def test_no_self_loops(self):
+        g = erdos_renyi_graph(30, 60, seed=3)
+        assert all(s != d for s, d, _w in g.edges())
+
+    def test_weight_range_respected(self):
+        g = erdos_renyi_graph(30, 60, seed=3, weight_range=(2.0, 3.0))
+        assert all(2.0 <= w <= 3.0 for _s, _d, w in g.edges())
+
+    def test_bad_weight_range_raises(self):
+        with pytest.raises(ConfigError):
+            erdos_renyi_graph(10, 5, seed=0, weight_range=(3.0, 2.0))
+
+
+class TestPowerLaw:
+    def test_size(self):
+        g = power_law_graph(300, 4, seed=5)
+        assert g.num_vertices == 300
+        # m edges per new vertex beyond the seed clique.
+        core = 5
+        assert g.num_edges == core * (core - 1) // 2 + (300 - core) * 4
+
+    def test_skew_exceeds_uniform(self):
+        pl = power_law_graph(500, 4, seed=5)
+        er = erdos_renyi_graph(500, pl.num_edges, seed=5)
+        assert degree_skew(degree_sequence(pl)) > 2 * degree_skew(
+            degree_sequence(er)
+        )
+
+    def test_deterministic(self):
+        a = power_law_graph(100, 3, seed=1)
+        b = power_law_graph(100, 3, seed=1)
+        assert sorted(a.edge_list()) == sorted(b.edge_list())
+
+    def test_invalid_params(self):
+        with pytest.raises(ConfigError):
+            power_law_graph(3, 4)
+        with pytest.raises(ConfigError):
+            power_law_graph(10, 0)
+
+
+class TestRmat:
+    def test_vertex_bound(self):
+        g = rmat_graph(scale=8, edge_factor=4, seed=2)
+        assert all(0 <= v < 256 for v in g.vertices())
+
+    def test_deterministic(self):
+        a = rmat_graph(scale=7, edge_factor=4, seed=9)
+        b = rmat_graph(scale=7, edge_factor=4, seed=9)
+        assert sorted(a.edge_list()) == sorted(b.edge_list())
+
+    def test_skewed_degrees(self):
+        g = rmat_graph(scale=9, edge_factor=8, seed=3)
+        assert degree_skew(degree_sequence(g)) > 5.0
+
+    def test_bad_probabilities(self):
+        with pytest.raises(ConfigError):
+            rmat_graph(scale=5, probabilities=(0.5, 0.2, 0.2, 0.2))
+
+    def test_bad_scale(self):
+        with pytest.raises(ConfigError):
+            rmat_graph(scale=0)
+
+
+class TestGrid:
+    def test_lattice_structure(self):
+        g = grid_graph(4, 5, seed=0, weight_range=None)
+        assert g.num_vertices == 20
+        # 4 rows x 5 cols lattice: 4*(5-1) horizontal + (4-1)*5 vertical.
+        assert g.num_edges == 4 * 4 + 3 * 5
+
+    def test_bounded_degree(self):
+        g = grid_graph(10, 10, seed=1)
+        assert max(degree_sequence(g)) <= 4
+
+    def test_diagonals_increase_edges(self):
+        base = grid_graph(10, 10, seed=1)
+        diag = grid_graph(10, 10, seed=1, diagonal_fraction=1.0)
+        assert diag.num_edges == base.num_edges + 9 * 9
+
+    def test_invalid_params(self):
+        with pytest.raises(ConfigError):
+            grid_graph(0, 5)
+        with pytest.raises(ConfigError):
+            grid_graph(3, 3, diagonal_fraction=1.5)
+
+
+class TestSmallWorld:
+    def test_ring_edges_present_at_zero_rewire(self):
+        g = small_world_graph(30, 4, rewire_probability=0.0, seed=0)
+        assert g.num_edges == 30 * 2
+        for v in range(30):
+            assert g.has_edge(v, (v + 1) % 30)
+            assert g.has_edge(v, (v + 2) % 30)
+
+    def test_rewire_changes_topology(self):
+        a = small_world_graph(60, 4, rewire_probability=0.0, seed=1)
+        b = small_world_graph(60, 4, rewire_probability=0.5, seed=1)
+        assert sorted(a.edge_list()) != sorted(b.edge_list())
+
+    def test_odd_k_raises(self):
+        with pytest.raises(ConfigError):
+            small_world_graph(20, 3)
+
+    def test_too_small_raises(self):
+        with pytest.raises(ConfigError):
+            small_world_graph(4, 4)
+
+    def test_bad_probability_raises(self):
+        with pytest.raises(ConfigError):
+            small_world_graph(20, 4, rewire_probability=2.0)

@@ -1,0 +1,123 @@
+"""Graph statistics and query-pair sampling tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import GraphError
+from repro.graph.dynamic_graph import DynamicGraph
+from repro.graph.stats import (
+    connected_components,
+    degree_sequence,
+    degree_skew,
+    estimate_diameter,
+    largest_component,
+    profile_graph,
+    sample_vertex_pairs,
+)
+
+
+class TestComponents:
+    def test_two_components(self, two_components):
+        comps = connected_components(two_components)
+        assert sorted(sorted(c) for c in comps) == [[0, 1], [2, 3]]
+
+    def test_largest_component(self):
+        g = DynamicGraph()
+        g.add_edge(0, 1)
+        g.add_edge(1, 2)
+        g.add_edge(5, 6)
+        assert sorted(largest_component(g)) == [0, 1, 2]
+
+    def test_largest_component_empty_raises(self):
+        with pytest.raises(GraphError):
+            largest_component(DynamicGraph())
+
+    def test_directed_weak_connectivity(self):
+        g = DynamicGraph(directed=True)
+        g.add_edge(0, 1)
+        g.add_edge(2, 1)  # 2 only reaches 1; still weakly connected
+        assert len(connected_components(g)) == 1
+
+
+class TestDegreeStats:
+    def test_sequence(self, triangle_graph):
+        assert sorted(degree_sequence(triangle_graph)) == [2, 2, 2]
+
+    def test_skew_regular_graph_is_one(self, triangle_graph):
+        assert degree_skew(degree_sequence(triangle_graph)) == pytest.approx(1.0)
+
+    def test_skew_star(self):
+        g = DynamicGraph()
+        for leaf in range(1, 11):
+            g.add_edge(0, leaf)
+        degrees = degree_sequence(g)
+        assert degree_skew(degrees) == pytest.approx(10 / (20 / 11))
+
+    def test_skew_empty(self):
+        assert degree_skew([]) == 0.0
+
+
+class TestDiameter:
+    def test_path_graph(self, line_graph):
+        assert estimate_diameter(line_graph, samples=4) == 4
+
+    def test_single_vertex(self):
+        g = DynamicGraph()
+        g.add_vertex(0)
+        assert estimate_diameter(g) == 0
+
+    def test_empty(self):
+        assert estimate_diameter(DynamicGraph()) == 0
+
+    def test_lower_bound_property(self, small_grid):
+        # 8x8 grid has hop diameter 14; the double sweep must not exceed it
+        # and should find most of it.
+        est = estimate_diameter(small_grid, samples=6)
+        assert 7 <= est <= 14
+
+
+class TestProfile:
+    def test_profile_fields(self, small_powerlaw):
+        profile = profile_graph(small_powerlaw)
+        assert profile.num_vertices == small_powerlaw.num_vertices
+        assert profile.num_edges == small_powerlaw.num_edges
+        assert profile.max_degree >= profile.mean_degree
+        assert 0 < profile.largest_component_fraction <= 1.0
+        row = profile.as_row()
+        assert row["|V|"] == profile.num_vertices
+        assert "diam~" in row
+
+
+class TestPairSampling:
+    def test_count_and_distinct_endpoints(self, small_powerlaw):
+        pairs = sample_vertex_pairs(small_powerlaw, 25, seed=3)
+        assert len(pairs) == 25
+        assert all(s != t for s, t in pairs)
+
+    def test_deterministic(self, small_powerlaw):
+        a = sample_vertex_pairs(small_powerlaw, 10, seed=3)
+        b = sample_vertex_pairs(small_powerlaw, 10, seed=3)
+        assert a == b
+
+    def test_connected_only_stays_in_lcc(self, two_components):
+        pairs = sample_vertex_pairs(two_components, 10, seed=1,
+                                    connected_only=True)
+        lcc = set(largest_component(two_components))
+        assert all(s in lcc and t in lcc for s, t in pairs)
+
+    def test_min_hops_respected(self, line_graph):
+        pairs = sample_vertex_pairs(line_graph, 5, seed=2, min_hops=3)
+        # On the path 0-1-2-3-4 only pairs >= 3 hops apart qualify.
+        for s, t in pairs:
+            assert abs(s - t) >= 3
+
+    def test_impossible_min_hops_raises(self, triangle_graph):
+        with pytest.raises(GraphError):
+            sample_vertex_pairs(triangle_graph, 5, seed=2, min_hops=5)
+
+    def test_too_few_vertices_raises(self):
+        g = DynamicGraph()
+        g.add_vertex(0)
+        with pytest.raises(GraphError):
+            sample_vertex_pairs(g, 1, seed=0, connected_only=False)

@@ -1,0 +1,159 @@
+"""HistoryGraph time-travel tests."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import GraphError, SnapshotError
+from repro.graph.history import HistoryGraph
+from repro.streaming.update import EdgeUpdate
+
+
+def _edge_set(graph):
+    return {(s, d, w) for s, d, w in graph.edges()}
+
+
+class TestBasics:
+    def test_initial_state(self):
+        h = HistoryGraph()
+        assert h.num_logged_ops == 0
+        assert h.num_checkpoints == 1
+        assert "HistoryGraph" in repr(h)
+
+    def test_invalid_interval(self):
+        with pytest.raises(GraphError):
+            HistoryGraph(checkpoint_interval=0)
+
+    def test_mutations_logged(self):
+        h = HistoryGraph()
+        h.add_edge(0, 1, 2.0)
+        h.add_vertex(5)
+        h.remove_edge(0, 1)
+        assert h.num_logged_ops == 3
+        assert h.epochs() == sorted(h.epochs())
+
+    def test_noop_mutations_not_logged(self):
+        h = HistoryGraph()
+        h.add_edge(0, 1, 2.0)
+        before = h.num_logged_ops
+        h.add_edge(0, 1, 2.0)   # identical weight
+        h.add_vertex(0)          # exists
+        assert not h.discard_edge(3, 4)
+        assert h.num_logged_ops == before
+
+    def test_apply_updates(self):
+        h = HistoryGraph()
+        n = h.apply([EdgeUpdate.insert(0, 1, 1.5), EdgeUpdate.delete(0, 1)])
+        assert n == 2
+        assert h.current.num_edges == 0
+
+
+class TestTimeTravel:
+    def test_state_at_each_step(self):
+        h = HistoryGraph()
+        snapshots = {h.epoch: _edge_set(h.current)}
+        rng = random.Random(3)
+        for step in range(60):
+            u, v = rng.sample(range(10), 2)
+            if h.current.has_edge(u, v) and rng.random() < 0.5:
+                h.remove_edge(u, v)
+            else:
+                h.add_edge(u, v, rng.uniform(1.0, 5.0))
+            snapshots[h.epoch] = _edge_set(h.current)
+        for epoch, expected in snapshots.items():
+            assert _edge_set(h.state_at(epoch)) == expected, epoch
+
+    def test_epochs_between_ops_resolve_backwards(self):
+        h = HistoryGraph()
+        h.add_edge(0, 1, 1.0)
+        mid_epoch = h.epoch
+        h.add_edge(2, 3, 1.0)
+        # An epoch strictly between two ops sees the earlier state.
+        state = h.state_at(mid_epoch)
+        assert state.has_edge(0, 1)
+        assert not state.has_edge(2, 3)
+
+    def test_before_history_raises(self):
+        h = HistoryGraph()
+        with pytest.raises(SnapshotError):
+            h.state_at(-1)
+
+    def test_vertex_removal_replayed(self):
+        h = HistoryGraph()
+        h.add_edge(0, 1, 1.0)
+        h.add_edge(1, 2, 1.0)
+        before = h.epoch
+        h.remove_vertex(1)
+        old = h.state_at(before)
+        assert old.has_vertex(1)
+        assert old.has_edge(0, 1)
+        now = h.state_at(h.epoch)
+        assert not now.has_vertex(1)
+        assert now.num_edges == 0
+
+    def test_weight_changes_replayed(self):
+        h = HistoryGraph()
+        h.add_edge(0, 1, 1.0)
+        e1 = h.epoch
+        h.add_edge(0, 1, 9.0)
+        assert h.state_at(e1).edge_weight(0, 1) == 1.0
+        assert h.state_at(h.epoch).edge_weight(0, 1) == 9.0
+
+    def test_directed(self):
+        h = HistoryGraph(directed=True)
+        h.add_edge(0, 1, 1.0)
+        e1 = h.epoch
+        h.add_edge(1, 0, 2.0)
+        old = h.state_at(e1)
+        assert old.directed
+        assert old.has_edge(0, 1)
+        assert not old.has_edge(1, 0)
+
+
+class TestCheckpointing:
+    def test_checkpoints_created(self):
+        h = HistoryGraph(checkpoint_interval=8)
+        for i in range(30):
+            h.add_edge(i, i + 1, 1.0)
+        assert h.num_checkpoints >= 3
+
+    def test_replay_crosses_checkpoints(self):
+        h = HistoryGraph(checkpoint_interval=5)
+        marks = []
+        for i in range(40):
+            h.add_edge(i, i + 1, 1.0)
+            marks.append((h.epoch, i + 2))  # vertices so far
+        for epoch, expected_vertices in marks:
+            assert h.state_at(epoch).num_vertices == expected_vertices
+
+    @given(st.integers(0, 10_000), st.integers(1, 20))
+    @settings(max_examples=10, deadline=None)
+    def test_checkpoint_interval_invariance(self, seed, interval):
+        """state_at must not depend on where checkpoints landed."""
+        rng = random.Random(seed)
+        ops = []
+        for _ in range(50):
+            u, v = rng.sample(range(8), 2)
+            if rng.random() < 0.6:
+                ops.append(("add", u, v, rng.uniform(1.0, 5.0)))
+            else:
+                ops.append(("del", u, v, None))
+        h1 = HistoryGraph(checkpoint_interval=interval)
+        h2 = HistoryGraph(checkpoint_interval=1000)
+        probes = []
+        for op, u, v, w in ops:
+            for h in (h1, h2):
+                if op == "add":
+                    h.add_edge(u, v, w)
+                else:
+                    h.discard_edge(u, v)
+            assert h1.epoch == h2.epoch
+            probes.append(h1.epoch)
+        for epoch in probes[:: max(1, len(probes) // 10)]:
+            assert _edge_set(h1.state_at(epoch)) == _edge_set(
+                h2.state_at(epoch)
+            )

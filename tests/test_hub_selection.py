@@ -1,0 +1,142 @@
+"""Hub selection strategy tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.hub_selection import (
+    STRATEGIES,
+    select_by_degree,
+    select_far_apart,
+    select_hubs,
+    select_random,
+)
+from repro.errors import ConfigError
+from repro.graph.dynamic_graph import DynamicGraph
+
+
+@pytest.fixture
+def star_plus_path():
+    """Star centered at 0 (degree 6) plus a long path hanging off leaf 1."""
+    g = DynamicGraph()
+    for leaf in range(1, 7):
+        g.add_edge(0, leaf)
+    for i in range(10, 15):
+        g.add_edge(i, i + 1)
+    g.add_edge(1, 10)
+    return g
+
+
+class TestDegree:
+    def test_picks_highest_degree(self, star_plus_path):
+        assert select_by_degree(star_plus_path, 1) == [0]
+
+    def test_tie_break_by_id(self):
+        g = DynamicGraph()
+        g.add_edge(5, 6)
+        g.add_edge(1, 2)
+        assert select_by_degree(g, 2) == [1, 2]
+
+    def test_count_validation(self, star_plus_path):
+        with pytest.raises(ConfigError):
+            select_by_degree(star_plus_path, 0)
+        with pytest.raises(ConfigError):
+            select_by_degree(star_plus_path, 10_000)
+
+
+class TestRandom:
+    def test_deterministic(self, star_plus_path):
+        assert select_random(star_plus_path, 4, seed=2) == select_random(
+            star_plus_path, 4, seed=2
+        )
+
+    def test_distinct(self, star_plus_path):
+        hubs = select_random(star_plus_path, 6, seed=3)
+        assert len(set(hubs)) == 6
+
+    def test_all_vertices_allowed(self, star_plus_path):
+        n = star_plus_path.num_vertices
+        assert sorted(select_random(star_plus_path, n, seed=1)) == sorted(
+            star_plus_path.vertices()
+        )
+
+
+class TestFarApart:
+    def test_starts_from_max_degree(self, star_plus_path):
+        hubs = select_far_apart(star_plus_path, 1)
+        assert hubs == [0]
+
+    def test_second_hub_is_far(self, star_plus_path):
+        hubs = select_far_apart(star_plus_path, 2)
+        # The farthest vertex from the star center is the path's end.
+        assert hubs[1] == 15
+
+    def test_distinct(self, star_plus_path):
+        hubs = select_far_apart(star_plus_path, 5, seed=1)
+        assert len(set(hubs)) == 5
+
+    def test_covers_components(self, two_components):
+        hubs = select_far_apart(two_components, 2, seed=0)
+        comp_a = {0, 1}
+        comp_b = {2, 3}
+        assert (set(hubs) & comp_a) and (set(hubs) & comp_b)
+
+
+class TestPathCover:
+    def test_bridge_vertex_selected(self):
+        """Two cliques joined by one cut vertex: every cross path passes it."""
+        from repro.graph.dynamic_graph import DynamicGraph
+
+        g = DynamicGraph()
+        for a in range(4):
+            for b in range(a + 1, 4):
+                g.add_edge(a, b)
+                g.add_edge(10 + a, 10 + b)
+        g.add_edge(0, 99)
+        g.add_edge(99, 10)
+        from repro.core.hub_selection import select_path_cover
+
+        hubs = select_path_cover(g, 1, seed=3, sample_pairs=200)
+        # Every cross-clique path runs through the 0–99–10 corridor; the
+        # selected hub must lie on it.
+        assert hubs[0] in {0, 99, 10}
+
+    def test_distinct_and_complete(self, star_plus_path):
+        from repro.core.hub_selection import select_path_cover
+
+        hubs = select_path_cover(star_plus_path, 5, seed=1)
+        assert len(hubs) == 5
+        assert len(set(hubs)) == 5
+
+    def test_deterministic(self, star_plus_path):
+        from repro.core.hub_selection import select_path_cover
+
+        assert select_path_cover(star_plus_path, 3, seed=4) == \
+            select_path_cover(star_plus_path, 3, seed=4)
+
+    def test_fallback_fills_count(self):
+        """A graph with no length-3 paths still yields the full hub count."""
+        from repro.core.hub_selection import select_path_cover
+        from repro.graph.dynamic_graph import DynamicGraph
+
+        g = DynamicGraph()
+        g.add_edge(0, 1)
+        g.add_edge(2, 3)
+        hubs = select_path_cover(g, 3, seed=1)
+        assert len(hubs) == 3
+
+
+class TestDispatch:
+    def test_registry_complete(self):
+        assert set(STRATEGIES) == {"degree", "random", "far-apart",
+                                   "path-cover"}
+
+    @pytest.mark.parametrize("strategy", list(STRATEGIES))
+    def test_dispatch_runs(self, star_plus_path, strategy):
+        hubs = select_hubs(star_plus_path, 3, strategy=strategy, seed=1)
+        assert len(hubs) == 3
+        assert all(star_plus_path.has_vertex(h) for h in hubs)
+
+    def test_unknown_strategy(self, star_plus_path):
+        with pytest.raises(ConfigError):
+            select_hubs(star_plus_path, 2, strategy="psychic")

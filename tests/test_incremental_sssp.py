@@ -1,0 +1,229 @@
+"""IncrementalBestPath maintenance: unit cases + randomized equivalence.
+
+The central property: after ANY sequence of edge insertions/deletions
+(mutate graph first, notify second), the maintained cost table equals a
+from-scratch rebuild.  Checked for undirected and directed graphs, forward
+and backward trees, and both semirings.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.semiring import BOTTLENECK_CAPACITY, SHORTEST_DISTANCE
+from repro.errors import IndexStateError
+from repro.graph.dynamic_graph import DynamicGraph
+from repro.graph.generators import erdos_renyi_graph, power_law_graph
+from repro.streaming.incremental_sssp import IncrementalBestPath
+from tests.conftest import reference_dijkstra
+
+
+class TestConstruction:
+    def test_initial_costs(self, line_graph):
+        tree = IncrementalBestPath(line_graph, 0, SHORTEST_DISTANCE)
+        assert tree.cost(0) == 0.0
+        assert tree.cost(4) == 4.0
+        assert tree.cost(99) == math.inf
+        assert tree.num_reachable == 5
+        assert tree.source == 0
+        assert tree.direction == "forward"
+
+    def test_missing_source_raises(self, line_graph):
+        with pytest.raises(IndexStateError):
+            IncrementalBestPath(line_graph, 77, SHORTEST_DISTANCE)
+
+    def test_bad_direction_raises(self, line_graph):
+        with pytest.raises(ValueError):
+            IncrementalBestPath(line_graph, 0, SHORTEST_DISTANCE,
+                                direction="sideways")
+
+    def test_backward_direction(self, directed_diamond):
+        tree = IncrementalBestPath(directed_diamond, 3, SHORTEST_DISTANCE,
+                                   direction="backward")
+        assert tree.cost(0) == 2.0
+        assert tree.cost(3) == 0.0
+
+    def test_costs_returns_copy(self, line_graph):
+        tree = IncrementalBestPath(line_graph, 0, SHORTEST_DISTANCE)
+        table = tree.costs()
+        table[0] = 123.0
+        assert tree.cost(0) == 0.0
+
+
+class TestInsertions:
+    def test_shortcut_propagates(self, line_graph):
+        tree = IncrementalBestPath(line_graph, 0, SHORTEST_DISTANCE)
+        line_graph.add_edge(0, 3, 0.5)
+        tree.on_edge_inserted(0, 3, 0.5)
+        assert tree.cost(3) == 0.5
+        assert tree.cost(2) == 1.5  # improved via the reverse arc 3-2
+        assert tree.cost(4) == 1.5
+        assert tree.settled_last_op == 3  # vertices 3, 2, 4
+
+    def test_irrelevant_insert_settles_nothing(self, line_graph):
+        tree = IncrementalBestPath(line_graph, 0, SHORTEST_DISTANCE)
+        line_graph.add_edge(1, 3, 10.0)
+        tree.on_edge_inserted(1, 3, 10.0)
+        assert tree.settled_last_op == 0
+        assert tree.cost(3) == 3.0
+
+    def test_insert_connects_new_region(self, two_components):
+        tree = IncrementalBestPath(two_components, 0, SHORTEST_DISTANCE)
+        assert tree.cost(3) == math.inf
+        two_components.add_edge(1, 2, 2.0)
+        tree.on_edge_inserted(1, 2, 2.0)
+        assert tree.cost(2) == 3.0
+        assert tree.cost(3) == 4.0
+
+    def test_undirected_insert_relaxes_both_arcs(self):
+        # The new edge improves the head-side via its *reverse* arc.
+        g = DynamicGraph()
+        g.add_edge(0, 1, 10.0)
+        g.add_edge(0, 2, 1.0)
+        tree = IncrementalBestPath(g, 0, SHORTEST_DISTANCE)
+        g.add_edge(1, 2, 1.0)
+        tree.on_edge_inserted(1, 2, 1.0)
+        assert tree.cost(1) == 2.0
+
+    def test_capacity_insert(self, triangle_graph):
+        tree = IncrementalBestPath(triangle_graph, 0, BOTTLENECK_CAPACITY)
+        assert tree.cost(2) == 4.0  # direct edge wins: min(4) vs min(1,2)
+        # Weight change = remove-then-reinsert at the graph level.
+        triangle_graph.remove_edge(0, 2)
+        tree.on_edge_deleted(0, 2, 4.0)
+        triangle_graph.add_edge(0, 2, 9.0)
+        tree.on_edge_inserted(0, 2, 9.0)
+        assert tree.cost(2) == 9.0
+
+
+class TestDeletions:
+    def test_delete_tight_edge(self, line_graph):
+        tree = IncrementalBestPath(line_graph, 0, SHORTEST_DISTANCE)
+        line_graph.remove_edge(1, 2)
+        tree.on_edge_deleted(1, 2, 1.0)
+        assert tree.cost(1) == 1.0
+        assert tree.cost(2) == math.inf
+        assert tree.cost(4) == math.inf
+
+    def test_delete_non_tight_edge_is_cheap(self, triangle_graph):
+        tree = IncrementalBestPath(triangle_graph, 0, SHORTEST_DISTANCE)
+        # 0-2 direct (4.0) is not tight; best is 0-1-2 (3.0).
+        triangle_graph.remove_edge(0, 2)
+        tree.on_edge_deleted(0, 2, 4.0)
+        assert tree.settled_last_op == 0
+        assert tree.cost(2) == 3.0
+
+    def test_delete_with_equal_cost_alternative(self):
+        g = DynamicGraph()
+        g.add_edge(0, 1, 1.0)
+        g.add_edge(0, 2, 1.0)
+        g.add_edge(1, 3, 1.0)
+        g.add_edge(2, 3, 1.0)
+        tree = IncrementalBestPath(g, 0, SHORTEST_DISTANCE)
+        assert tree.cost(3) == 2.0
+        g.remove_edge(1, 3)
+        tree.on_edge_deleted(1, 3, 1.0)
+        assert tree.cost(3) == 2.0  # the 0-2-3 path still supports it
+
+    def test_capacity_delete_marks_dirty_then_rebuilds(self, triangle_graph):
+        tree = IncrementalBestPath(triangle_graph, 0, BOTTLENECK_CAPACITY)
+        triangle_graph.remove_edge(0, 2)
+        tree.on_edge_deleted(0, 2, 4.0)
+        assert tree.dirty
+        assert tree.cost(2) == 1.0  # rebuilt lazily: via 0-1-2, min(1, 2)
+        assert not tree.dirty
+
+    def test_source_never_affected(self):
+        g = DynamicGraph()
+        g.add_edge(0, 1, 1.0)
+        tree = IncrementalBestPath(g, 0, SHORTEST_DISTANCE)
+        g.remove_edge(0, 1)
+        tree.on_edge_deleted(0, 1, 1.0)
+        assert tree.cost(0) == 0.0
+        assert tree.cost(1) == math.inf
+
+
+def _apply_and_check(graph, trees, steps, seed):
+    rng = random.Random(seed)
+    verts = list(graph.vertices())
+    for step in range(steps):
+        u, v = rng.sample(verts, 2)
+        if graph.has_edge(u, v) and rng.random() < 0.5:
+            w_old = graph.edge_weight(u, v)
+            graph.remove_edge(u, v)
+            for tree in trees:
+                tree.on_edge_deleted(u, v, w_old)
+        else:
+            if graph.has_edge(u, v):
+                # weight change: remove-then-reinsert protocol
+                w_old = graph.edge_weight(u, v)
+                w_new = rng.uniform(1.0, 5.0)
+                graph.remove_edge(u, v)
+                for tree in trees:
+                    tree.on_edge_deleted(u, v, w_old)
+                graph.add_edge(u, v, w_new)
+                for tree in trees:
+                    tree.on_edge_inserted(u, v, w_new)
+            else:
+                w_new = rng.uniform(1.0, 5.0)
+                graph.add_edge(u, v, w_new)
+                for tree in trees:
+                    tree.on_edge_inserted(u, v, w_new)
+        if step % 7 == 0 or step == steps - 1:
+            for tree in trees:
+                fresh = IncrementalBestPath(
+                    graph, tree.source, tree.semiring, direction=tree.direction
+                )
+                assert tree.costs() == fresh.costs(), (
+                    f"divergence at step {step} for source {tree.source} "
+                    f"({tree.direction}, {tree.semiring.name})"
+                )
+
+
+class TestRandomizedEquivalence:
+    @given(st.integers(0, 2**32 - 1))
+    @settings(max_examples=12, deadline=None)
+    def test_undirected_distance(self, seed):
+        graph = erdos_renyi_graph(24, 40, seed=seed % 1000,
+                                  weight_range=(1.0, 5.0))
+        sources = list(graph.vertices())[:2]
+        trees = [
+            IncrementalBestPath(graph, s, SHORTEST_DISTANCE) for s in sources
+        ]
+        _apply_and_check(graph, trees, steps=40, seed=seed)
+
+    @given(st.integers(0, 2**32 - 1))
+    @settings(max_examples=10, deadline=None)
+    def test_directed_both_directions(self, seed):
+        graph = erdos_renyi_graph(20, 60, seed=seed % 1000, directed=True,
+                                  weight_range=(1.0, 5.0))
+        source = next(iter(graph.vertices()))
+        trees = [
+            IncrementalBestPath(graph, source, SHORTEST_DISTANCE),
+            IncrementalBestPath(graph, source, SHORTEST_DISTANCE,
+                                direction="backward"),
+        ]
+        _apply_and_check(graph, trees, steps=35, seed=seed)
+
+    @given(st.integers(0, 2**32 - 1))
+    @settings(max_examples=8, deadline=None)
+    def test_capacity_with_lazy_rebuilds(self, seed):
+        graph = erdos_renyi_graph(18, 36, seed=seed % 1000,
+                                  weight_range=(1.0, 5.0))
+        source = next(iter(graph.vertices()))
+        trees = [IncrementalBestPath(graph, source, BOTTLENECK_CAPACITY)]
+        _apply_and_check(graph, trees, steps=30, seed=seed)
+
+    @given(st.integers(0, 2**32 - 1))
+    @settings(max_examples=8, deadline=None)
+    def test_powerlaw_topology(self, seed):
+        graph = power_law_graph(40, 2, seed=seed % 1000,
+                                weight_range=(1.0, 5.0))
+        source = max(graph.vertices(), key=graph.degree)
+        trees = [IncrementalBestPath(graph, source, SHORTEST_DISTANCE)]
+        _apply_and_check(graph, trees, steps=40, seed=seed)

@@ -1,0 +1,108 @@
+"""End-to-end integration scenarios exercising the whole stack."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.baselines.dijkstra import dijkstra_distance
+from repro.baselines.recompute import RecomputeEngine
+from repro.baselines.streaming_engine import ContinuousPairwiseEngine
+from repro.baselines.ub_only import UpperBoundOnlyEngine
+from repro.core.config import SGraphConfig
+from repro.graph.datasets import load_dataset
+from repro.graph.stats import sample_vertex_pairs
+from repro.sgraph import SGraph
+from repro.streaming.ingest import IngestEngine
+from repro.streaming.scheduler import EpochScheduler
+from repro.streaming.workload import mixed_stream, sliding_window_stream
+
+
+class TestFourSystemsAgree:
+    """All four systems (SGraph, UB-only, recompute, continuous) must return
+    identical distances over an evolving social graph."""
+
+    def test_agreement_through_churn(self):
+        graph = load_dataset("collab-sw")
+        pairs = sample_vertex_pairs(graph, 8, seed=3, min_hops=2)
+
+        sg = SGraph(graph=graph, config=SGraphConfig(num_hubs=8))
+        sg.distance(*pairs[0])  # build index
+        ub_only = UpperBoundOnlyEngine(graph, num_hubs=8)
+        recompute = RecomputeEngine(graph)
+        continuous = ContinuousPairwiseEngine(graph)
+        continuous.register_pairs(pairs)
+
+        # SGraph mutations go through the facade; the other listeners ride
+        # along on a second ingest engine sharing the same graph object is
+        # NOT allowed (double mutation), so updates are applied via the
+        # facade and mirrored to listeners manually.
+        updates = list(sliding_window_stream(graph, 120, seed=4))
+        for upd in updates:
+            from repro.streaming.update import UpdateKind
+
+            if upd.kind is UpdateKind.INSERT:
+                existed = graph.has_edge(upd.src, upd.dst)
+                old_w = graph.edge_weight(upd.src, upd.dst) if existed else None
+                sg.add_edge(upd.src, upd.dst, upd.weight)
+                if existed:
+                    ub_only.notify_edge_deleted(upd.src, upd.dst, old_w)
+                    continuous.notify_edge_deleted(upd.src, upd.dst, old_w)
+                ub_only.notify_edge_inserted(upd.src, upd.dst, upd.weight)
+                continuous.notify_edge_inserted(upd.src, upd.dst, upd.weight)
+            else:
+                if graph.has_edge(upd.src, upd.dst):
+                    old_w = graph.edge_weight(upd.src, upd.dst)
+                    sg.remove_edge(upd.src, upd.dst)
+                    ub_only.notify_edge_deleted(upd.src, upd.dst, old_w)
+                    continuous.notify_edge_deleted(upd.src, upd.dst, old_w)
+
+        for s, t in pairs:
+            expected = recompute.distance(s, t).value
+            assert sg.distance(s, t).value == pytest.approx(expected)
+            assert ub_only.distance(s, t).value == pytest.approx(expected)
+            assert continuous.distance(s, t).value == pytest.approx(expected)
+
+
+class TestScheduledWorkload:
+    def test_mixed_stream_with_queries_and_oracle(self):
+        graph = load_dataset("uniform-er")
+        sg = SGraph(graph=graph, config=SGraphConfig(num_hubs=6))
+        pairs = sample_vertex_pairs(graph, 12, seed=5)
+        sg.distance(*pairs[0])
+        mismatches = []
+
+        def checked_query(s, t):
+            result = sg.distance(s, t)
+            ref, _stats = dijkstra_distance(graph, s, t)
+            if not math.isclose(result.value, ref, rel_tol=1e-9):
+                if not (result.value == ref):  # both inf compares equal
+                    mismatches.append((s, t, result.value, ref))
+            return result
+
+        report = EpochScheduler(sg, checked_query).run(
+            mixed_stream(graph, 150, insert_fraction=0.6, seed=6),
+            pairs,
+            updates_per_round=30,
+            queries_per_round=4,
+        )
+        assert not mismatches
+        assert report.total_updates == 150
+        assert report.total_queries == 20
+
+
+class TestIngestWithMultipleListeners:
+    def test_shared_stream_keeps_everyone_consistent(self):
+        graph = load_dataset("uniform-er")
+        sg_view = UpperBoundOnlyEngine(graph, num_hubs=4)
+        continuous = ContinuousPairwiseEngine(graph)
+        verts = sorted(graph.vertices())
+        continuous.register_source(verts[0])
+        ingest = IngestEngine(graph, [sg_view, continuous])
+        stats = ingest.apply_all(mixed_stream(graph, 100, 0.7, seed=7))
+        assert stats.applied == 100
+        for t in verts[1:15]:
+            ref, _s = dijkstra_distance(graph, verts[0], t)
+            assert sg_view.distance(verts[0], t).value == pytest.approx(ref)
+            assert continuous.distance(verts[0], t).value == pytest.approx(ref)

@@ -1,0 +1,72 @@
+"""Neighborhood query tests (nearest / within)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.config import SGraphConfig
+from repro.errors import QueryError
+from repro.graph.generators import erdos_renyi_graph
+from repro.sgraph import SGraph
+from tests.conftest import reference_dijkstra
+
+
+@pytest.fixture
+def sg_line(line_graph):
+    return SGraph(graph=line_graph, config=SGraphConfig(num_hubs=2))
+
+
+class TestNearest:
+    def test_sorted_by_distance(self, sg_line):
+        assert sg_line.nearest(0, 3) == [(1, 1.0), (2, 2.0), (3, 3.0)]
+
+    def test_excludes_source(self, sg_line):
+        assert all(v != 0 for v, _d in sg_line.nearest(0, 5))
+
+    def test_fewer_than_k(self, sg_line):
+        assert len(sg_line.nearest(0, 50)) == 4
+
+    def test_component_bounded(self, two_components):
+        sg = SGraph(graph=two_components, config=SGraphConfig(num_hubs=1))
+        assert sg.nearest(0, 10) == [(1, 1.0)]
+
+    def test_invalid_k(self, sg_line):
+        with pytest.raises(QueryError):
+            sg_line.nearest(0, 0)
+
+    def test_missing_source(self, sg_line):
+        with pytest.raises(QueryError):
+            sg_line.nearest(99, 2)
+
+
+class TestWithin:
+    def test_radius_inclusive(self, sg_line):
+        assert sg_line.within(0, 2.0) == [(1, 1.0), (2, 2.0)]
+
+    def test_zero_radius(self, sg_line):
+        assert sg_line.within(0, 0.0) == []
+
+    def test_negative_radius(self, sg_line):
+        with pytest.raises(QueryError):
+            sg_line.within(0, -1.0)
+
+
+@given(st.integers(0, 10_000), st.integers(1, 15))
+@settings(max_examples=10, deadline=None)
+def test_nearest_matches_reference(seed, k):
+    graph = erdos_renyi_graph(25, 45, seed=seed, weight_range=(1.0, 5.0))
+    sg = SGraph(graph=graph, config=SGraphConfig(num_hubs=2))
+    source = sorted(graph.vertices())[0]
+    got = sg.nearest(source, k)
+    ref = reference_dijkstra(graph, source)
+    expected = sorted(
+        ((v, d) for v, d in ref.items() if v != source),
+        key=lambda pair: (pair[1], 0),
+    )[:k]
+    assert [d for _v, d in got] == pytest.approx([d for _v, d in expected])
+    # Vertices may differ under distance ties; distances must agree.
+    got_dist = {v: d for v, d in got}
+    for v, d in got_dist.items():
+        assert ref[v] == pytest.approx(d)

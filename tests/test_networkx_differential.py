@@ -1,0 +1,108 @@
+"""Differential tests against networkx — an oracle we didn't write.
+
+The other suites validate against reference implementations in this repo;
+these validate against an independent library, closing the "both copies
+share the same bug" loophole for the headline query kinds.
+"""
+
+from __future__ import annotations
+
+import math
+
+import networkx as nx
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.config import SGraphConfig
+from repro.graph.generators import erdos_renyi_graph, power_law_graph
+from repro.sgraph import SGraph
+
+
+def _to_nx(graph) -> "nx.Graph | nx.DiGraph":
+    nxg = nx.DiGraph() if graph.directed else nx.Graph()
+    nxg.add_nodes_from(graph.vertices())
+    for s, d, w in graph.edges():
+        nxg.add_edge(s, d, weight=w)
+    return nxg
+
+
+def _nx_distance(nxg, s, t) -> float:
+    try:
+        return nx.shortest_path_length(nxg, s, t, weight="weight")
+    except nx.NetworkXNoPath:
+        return math.inf
+
+
+def _nx_hops(nxg, s, t) -> float:
+    try:
+        return float(nx.shortest_path_length(nxg, s, t))
+    except nx.NetworkXNoPath:
+        return math.inf
+
+
+@given(st.integers(0, 10_000))
+@settings(max_examples=10, deadline=None)
+def test_distance_and_hops_match_networkx_undirected(seed):
+    graph = erdos_renyi_graph(25, 40, seed=seed, weight_range=(1.0, 5.0))
+    sg = SGraph(graph=graph,
+                config=SGraphConfig(num_hubs=4, queries=("distance", "hops")))
+    nxg = _to_nx(graph)
+    verts = sorted(graph.vertices())
+    for t in verts[1:]:
+        assert sg.distance(verts[0], t).value == pytest.approx(
+            _nx_distance(nxg, verts[0], t)
+        )
+        assert sg.hop_distance(verts[0], t).value == _nx_hops(nxg, verts[0], t)
+
+
+@given(st.integers(0, 10_000))
+@settings(max_examples=8, deadline=None)
+def test_distance_matches_networkx_directed(seed):
+    graph = erdos_renyi_graph(20, 70, seed=seed, directed=True,
+                              weight_range=(1.0, 5.0))
+    sg = SGraph(graph=graph, config=SGraphConfig(num_hubs=3))
+    nxg = _to_nx(graph)
+    verts = sorted(graph.vertices())
+    for t in verts[1:12]:
+        assert sg.distance(verts[0], t).value == pytest.approx(
+            _nx_distance(nxg, verts[0], t)
+        )
+
+
+@given(st.integers(0, 10_000))
+@settings(max_examples=6, deadline=None)
+def test_shortest_path_cost_matches_networkx(seed):
+    graph = power_law_graph(50, 3, seed=seed, weight_range=(1.0, 5.0))
+    sg = SGraph(graph=graph, config=SGraphConfig(num_hubs=4))
+    nxg = _to_nx(graph)
+    verts = sorted(graph.vertices())
+    for t in verts[1:10]:
+        result = sg.shortest_path(verts[0], t)
+        expected = _nx_distance(nxg, verts[0], t)
+        assert result.value == pytest.approx(expected)
+        if result.path is not None:
+            # The path must be real in networkx's view and cost the optimum.
+            assert nx.is_simple_path(nxg, result.path) or len(result.path) == 1
+            cost = sum(nxg[a][b]["weight"]
+                       for a, b in zip(result.path, result.path[1:]))
+            assert cost == pytest.approx(expected)
+
+
+def test_evolving_agreement_with_networkx():
+    import random
+
+    graph = erdos_renyi_graph(30, 50, seed=5, weight_range=(1.0, 5.0))
+    sg = SGraph(graph=graph, config=SGraphConfig(num_hubs=4))
+    verts = sorted(graph.vertices())
+    sg.distance(verts[0], verts[1])  # build index
+    rng = random.Random(6)
+    for _ in range(40):
+        u, v = rng.sample(verts, 2)
+        if graph.has_edge(u, v) and rng.random() < 0.5:
+            sg.remove_edge(u, v)
+        else:
+            sg.add_edge(u, v, rng.uniform(1.0, 5.0))
+        nxg = _to_nx(graph)
+        s, t = rng.sample(verts, 2)
+        assert sg.distance(s, t).value == pytest.approx(_nx_distance(nxg, s, t))

@@ -1,0 +1,196 @@
+"""Path materialization tests: stitching, hub-tree descent, engine path mode."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.engine import PairwiseEngine
+from repro.core.hub_index import HubIndex
+from repro.core.paths import (
+    descend_tree,
+    hub_witness_path,
+    path_cost,
+    stitch_bidirectional,
+)
+from repro.core.semiring import BOTTLENECK_CAPACITY, SHORTEST_DISTANCE
+from repro.errors import IndexStateError
+from repro.graph.generators import erdos_renyi_graph, grid_graph
+from repro.sgraph import SGraph
+from repro.core.config import SGraphConfig
+from tests.conftest import reference_dijkstra, reference_widest
+
+
+class TestStitch:
+    def test_meeting_in_middle(self):
+        parents_f = {0: None, 1: 0, 2: 1}
+        parents_b = {4: None, 3: 4, 2: 3}
+        assert stitch_bidirectional(2, parents_f, parents_b) == [0, 1, 2, 3, 4]
+
+    def test_meet_at_endpoint(self):
+        parents_f = {0: None}
+        parents_b = {1: None, 0: 1}
+        assert stitch_bidirectional(0, parents_f, parents_b) == [0, 1]
+
+
+class TestDescent:
+    def test_forward_tree(self, line_graph):
+        from repro.streaming.incremental_sssp import IncrementalBestPath
+
+        tree = IncrementalBestPath(line_graph, 0, SHORTEST_DISTANCE)
+        chain = descend_tree(line_graph, tree.raw_cost_table(),
+                             SHORTEST_DISTANCE, 4, toward_source=True)
+        assert chain == [0, 1, 2, 3, 4]
+
+    def test_backward_tree_directed(self, directed_diamond):
+        from repro.streaming.incremental_sssp import IncrementalBestPath
+
+        tree = IncrementalBestPath(directed_diamond, 3, SHORTEST_DISTANCE,
+                                   direction="backward")
+        chain = descend_tree(directed_diamond, tree.raw_cost_table(),
+                             SHORTEST_DISTANCE, 0, toward_source=False)
+        assert chain == [0, 1, 3]  # the cheap arm of the diamond
+
+    def test_unreachable_endpoint_raises(self, two_components):
+        from repro.streaming.incremental_sssp import IncrementalBestPath
+
+        tree = IncrementalBestPath(two_components, 0, SHORTEST_DISTANCE)
+        with pytest.raises(IndexStateError):
+            descend_tree(two_components, tree.raw_cost_table(),
+                         SHORTEST_DISTANCE, 3, toward_source=True)
+
+
+class TestHubWitness:
+    def test_witness_through_hub(self, line_graph):
+        index = HubIndex(line_graph, [2])
+        path = hub_witness_path(index, line_graph, 0, 4)
+        assert path == [0, 1, 2, 3, 4]
+
+    def test_no_witness_raises(self, two_components):
+        index = HubIndex(two_components, [0])
+        with pytest.raises(IndexStateError):
+            hub_witness_path(index, two_components, 0, 3)
+
+    def test_path_cost_helper(self, triangle_graph):
+        assert path_cost(triangle_graph, SHORTEST_DISTANCE, [0, 1, 2]) == 3.0
+        assert path_cost(triangle_graph, BOTTLENECK_CAPACITY, [0, 1, 2]) == 1.0
+        assert path_cost(triangle_graph, SHORTEST_DISTANCE, []) == math.inf
+
+
+class TestEnginePathMode:
+    def _assert_valid(self, graph, semiring, s, t, value, path, expected):
+        assert value == pytest.approx(expected)
+        if expected == semiring.unreachable:
+            assert path is None
+            return
+        assert path is not None
+        assert path[0] == s and path[-1] == t
+        assert path_cost(graph, semiring, path) == pytest.approx(expected)
+
+    @given(st.integers(0, 10_000))
+    @settings(max_examples=10, deadline=None)
+    def test_distance_paths_random(self, seed):
+        graph = erdos_renyi_graph(18, 30, seed=seed, weight_range=(1.0, 5.0))
+        hubs = sorted(graph.vertices(), key=graph.degree)[-3:]
+        index = HubIndex(graph, hubs)
+        engine = PairwiseEngine(graph, index=index)
+        verts = sorted(graph.vertices())
+        ref = reference_dijkstra(graph, verts[0])
+        for t in verts[1:]:
+            value, path, _stats = engine.best_path(verts[0], t)
+            self._assert_valid(graph, SHORTEST_DISTANCE, verts[0], t,
+                               value, path, ref.get(t, math.inf))
+
+    @given(st.integers(0, 10_000))
+    @settings(max_examples=8, deadline=None)
+    def test_capacity_paths_random(self, seed):
+        graph = erdos_renyi_graph(14, 24, seed=seed, weight_range=(1.0, 5.0))
+        hubs = list(graph.vertices())[:3]
+        index = HubIndex(graph, hubs, semiring=BOTTLENECK_CAPACITY)
+        engine = PairwiseEngine(graph, index=index)
+        verts = sorted(graph.vertices())
+        ref = reference_widest(graph, verts[0])
+        for t in verts[1:]:
+            value, path, _stats = engine.best_path(verts[0], t)
+            self._assert_valid(graph, BOTTLENECK_CAPACITY, verts[0], t,
+                               value, path, ref.get(t, -math.inf))
+
+    def test_policy_none_paths(self, small_grid):
+        engine = PairwiseEngine(small_grid, policy="none")
+        value, path, _stats = engine.best_path(0, 63)
+        assert path[0] == 0 and path[-1] == 63
+        assert path_cost(small_grid, SHORTEST_DISTANCE, path) == pytest.approx(
+            value
+        )
+
+    def test_same_endpoint(self, triangle_graph):
+        engine = PairwiseEngine(triangle_graph, policy="none")
+        value, path, _stats = engine.best_path(1, 1)
+        assert value == 0.0
+        assert path == [1]
+
+    def test_witness_shortcut_used_when_hub_on_path(self, line_graph):
+        index = HubIndex(line_graph, [2])
+        engine = PairwiseEngine(line_graph, index=index)
+        value, path, stats = engine.best_path(0, 4)
+        assert value == 4.0
+        assert path == [0, 1, 2, 3, 4]
+
+
+class TestFacadePaths:
+    def test_shortest_path(self):
+        sg = SGraph.from_edges(
+            [(0, 1, 1.0), (1, 2, 1.0), (0, 2, 5.0)],
+            config=SGraphConfig(num_hubs=2, queries=("distance", "capacity")),
+        )
+        result = sg.shortest_path(0, 2)
+        assert result.value == 2.0
+        assert result.path == [0, 1, 2]
+
+    def test_widest_path(self):
+        sg = SGraph.from_edges(
+            [(0, 1, 1.0), (1, 2, 1.0), (0, 2, 5.0)],
+            config=SGraphConfig(num_hubs=2, queries=("distance", "capacity")),
+        )
+        result = sg.widest_path(0, 2)
+        assert result.value == 5.0
+        assert result.path == [0, 2]
+
+    def test_unreachable_path_is_none(self, two_components):
+        sg = SGraph(graph=two_components, config=SGraphConfig(num_hubs=2))
+        result = sg.shortest_path(0, 3)
+        assert result.value == math.inf
+        assert result.path is None
+
+    def test_path_needs_family(self, triangle_graph):
+        from repro.errors import ConfigError
+
+        sg = SGraph(graph=triangle_graph,
+                    config=SGraphConfig(queries=("distance",)))
+        with pytest.raises(ConfigError):
+            sg.widest_path(0, 2)
+
+    def test_paths_stay_valid_under_churn(self):
+        graph = grid_graph(10, 10, seed=3, weight_range=(1.0, 5.0))
+        sg = SGraph(graph=graph,
+                    config=SGraphConfig(num_hubs=6, hub_strategy="far-apart"))
+        import random
+
+        rng = random.Random(9)
+        verts = list(graph.vertices())
+        for step in range(25):
+            u, v = rng.sample(verts, 2)
+            if graph.has_edge(u, v) and rng.random() < 0.4:
+                sg.remove_edge(u, v)
+            else:
+                sg.add_edge(u, v, rng.uniform(1.0, 5.0))
+            s, t = rng.sample(verts, 2)
+            result = sg.shortest_path(s, t)
+            ref = reference_dijkstra(graph, s).get(t, math.inf)
+            assert result.value == pytest.approx(ref)
+            if result.path is not None:
+                assert path_cost(graph, SHORTEST_DISTANCE,
+                                 result.path) == pytest.approx(ref)

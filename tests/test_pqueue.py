@@ -1,0 +1,163 @@
+"""IndexedHeap unit + property tests."""
+
+from __future__ import annotations
+
+import heapq
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.utils.pqueue import IndexedHeap
+
+
+class TestBasics:
+    def test_empty(self):
+        h = IndexedHeap()
+        assert len(h) == 0
+        assert not h
+        assert 3 not in h
+
+    def test_push_pop_single(self):
+        h = IndexedHeap()
+        assert h.push(7, 1.5)
+        assert 7 in h
+        assert h.priority(7) == 1.5
+        assert h.pop() == (7, 1.5)
+        assert not h
+
+    def test_pop_order(self):
+        h = IndexedHeap()
+        for key, pri in [(1, 3.0), (2, 1.0), (3, 2.0)]:
+            h.push(key, pri)
+        assert [h.pop()[0] for _ in range(3)] == [2, 3, 1]
+
+    def test_decrease_key(self):
+        h = IndexedHeap()
+        h.push(1, 5.0)
+        h.push(2, 3.0)
+        assert h.push(1, 1.0)  # decrease
+        assert h.priority(1) == 1.0
+        assert h.pop() == (1, 1.0)
+
+    def test_increase_ignored(self):
+        h = IndexedHeap()
+        h.push(1, 1.0)
+        assert not h.push(1, 5.0)
+        assert h.priority(1) == 1.0
+        assert len(h) == 1
+
+    def test_equal_priority_ignored(self):
+        h = IndexedHeap()
+        h.push(1, 1.0)
+        assert not h.push(1, 1.0)
+
+    def test_peek_does_not_remove(self):
+        h = IndexedHeap()
+        h.push(5, 2.0)
+        assert h.peek() == (5, 2.0)
+        assert len(h) == 1
+
+    def test_pop_empty_raises(self):
+        with pytest.raises(IndexError):
+            IndexedHeap().pop()
+
+    def test_peek_empty_raises(self):
+        with pytest.raises(IndexError):
+            IndexedHeap().peek()
+
+    def test_remove_present(self):
+        h = IndexedHeap()
+        for i in range(10):
+            h.push(i, float(10 - i))
+        assert h.remove(5)
+        assert 5 not in h
+        popped = [h.pop()[0] for _ in range(len(h))]
+        assert 5 not in popped
+        assert popped == sorted(popped, key=lambda k: 10 - k)
+
+    def test_remove_absent(self):
+        h = IndexedHeap()
+        h.push(1, 1.0)
+        assert not h.remove(2)
+        assert len(h) == 1
+
+    def test_remove_last_element(self):
+        h = IndexedHeap()
+        h.push(1, 1.0)
+        assert h.remove(1)
+        assert not h
+
+    def test_clear(self):
+        h = IndexedHeap()
+        for i in range(5):
+            h.push(i, float(i))
+        h.clear()
+        assert not h
+        h.push(1, 1.0)
+        assert h.pop() == (1, 1.0)
+
+    def test_iter_yields_all(self):
+        h = IndexedHeap()
+        for i in range(6):
+            h.push(i, float(i % 3))
+        assert sorted(key for _p, key in h) == list(range(6))
+
+    def test_priority_absent_is_none(self):
+        assert IndexedHeap().priority(4) is None
+
+
+class TestAgainstHeapq:
+    @given(
+        st.lists(
+            st.tuples(st.integers(0, 30), st.floats(0, 100, allow_nan=False)),
+            max_size=200,
+        )
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_pop_sequence_matches_best_known(self, ops):
+        """Popping drains keys in nondecreasing final-priority order, and
+        each key's popped priority equals the minimum it was pushed with."""
+        h = IndexedHeap()
+        best = {}
+        for key, pri in ops:
+            h.push(key, pri)
+            if key not in best or pri < best[key]:
+                best[key] = pri
+        popped = []
+        while h:
+            popped.append(h.pop())
+        assert {k for k, _ in popped} == set(best)
+        priorities = [p for _, p in popped]
+        assert priorities == sorted(priorities)
+        for key, pri in popped:
+            assert pri == best[key]
+
+    @given(st.integers(0, 2**32 - 1))
+    @settings(max_examples=25, deadline=None)
+    def test_interleaved_push_pop_remove(self, seed):
+        rng = random.Random(seed)
+        h = IndexedHeap()
+        shadow = {}
+        for _ in range(300):
+            action = rng.random()
+            if action < 0.6 or not shadow:
+                key = rng.randrange(40)
+                pri = rng.uniform(0, 50)
+                changed = h.push(key, pri)
+                if key not in shadow or pri < shadow[key]:
+                    assert changed
+                    shadow[key] = pri
+                else:
+                    assert not changed
+            elif action < 0.8:
+                key, pri = h.pop()
+                assert pri == shadow[key]
+                assert shadow[key] == min(shadow.values())
+                del shadow[key]
+            else:
+                key = rng.randrange(40)
+                assert h.remove(key) == (key in shadow)
+                shadow.pop(key, None)
+            assert len(h) == len(shadow)

@@ -1,0 +1,108 @@
+"""PropagationEngine (label-correcting system model) tests."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines.propagation import PropagationEngine
+from repro.core.hub_index import HubIndex
+from repro.core.pruning import PruningPolicy
+from repro.core.semiring import BOTTLENECK_CAPACITY
+from repro.errors import ConfigError, QueryError
+from repro.graph.generators import erdos_renyi_graph, power_law_graph
+from tests.conftest import reference_dijkstra
+
+
+class TestConstruction:
+    def test_index_required_for_pruning(self, triangle_graph):
+        with pytest.raises(ConfigError):
+            PropagationEngine(triangle_graph, policy="upper-only")
+
+    def test_distance_semiring_only(self, triangle_graph):
+        index = HubIndex(triangle_graph, [0], semiring=BOTTLENECK_CAPACITY)
+        with pytest.raises(ConfigError):
+            PropagationEngine(triangle_graph, index=index, policy="upper-only")
+
+    def test_policy_property(self, triangle_graph):
+        engine = PropagationEngine(triangle_graph, policy="none")
+        assert engine.policy is PruningPolicy.NONE
+
+
+class TestCorrectness:
+    @pytest.mark.parametrize("policy", list(PruningPolicy))
+    def test_triangle(self, triangle_graph, policy):
+        index = HubIndex(triangle_graph, [1]) if policy.uses_index else None
+        engine = PropagationEngine(triangle_graph, index=index, policy=policy)
+        assert engine.distance(0, 2).value == 3.0
+
+    @pytest.mark.parametrize("policy", list(PruningPolicy))
+    def test_unreachable(self, two_components, policy):
+        index = HubIndex(two_components, [0]) if policy.uses_index else None
+        engine = PropagationEngine(two_components, index=index, policy=policy)
+        assert engine.distance(0, 3).value == math.inf
+
+    def test_same_vertex(self, triangle_graph):
+        engine = PropagationEngine(triangle_graph, policy="none")
+        assert engine.distance(2, 2).value == 0.0
+
+    def test_missing_vertex_raises(self, triangle_graph):
+        engine = PropagationEngine(triangle_graph, policy="none")
+        with pytest.raises(QueryError):
+            engine.distance(0, 99)
+
+    @given(st.integers(0, 10_000))
+    @settings(max_examples=8, deadline=None)
+    def test_policies_agree_with_oracle(self, seed):
+        graph = erdos_renyi_graph(18, 30, seed=seed, weight_range=(1.0, 5.0))
+        hubs = sorted(graph.vertices(), key=graph.degree)[-3:]
+        index = HubIndex(graph, hubs)
+        engines = [
+            PropagationEngine(graph, policy="none"),
+            PropagationEngine(graph, index=index, policy="upper-only"),
+            PropagationEngine(graph, index=index, policy="upper+lower"),
+        ]
+        verts = sorted(graph.vertices())
+        ref = reference_dijkstra(graph, verts[0])
+        for t in verts[1:]:
+            expected = ref.get(t, math.inf)
+            for engine in engines:
+                assert engine.distance(verts[0], t).value == pytest.approx(
+                    expected
+                ), engine.policy
+
+
+class TestActivationShape:
+    """The paper's headline claim, asserted as a test on a skewed graph."""
+
+    def test_pruning_hierarchy(self):
+        graph = power_law_graph(1200, 5, seed=4, weight_range=(1.0, 4.0))
+        index = HubIndex.build(graph, 16)
+        from repro.graph.stats import sample_vertex_pairs
+
+        pairs = sample_vertex_pairs(graph, 12, seed=6, min_hops=2)
+        totals = {}
+        for policy in ("none", "upper-only", "upper+lower"):
+            engine = PropagationEngine(
+                graph,
+                index=index if policy != "none" else None,
+                policy=policy,
+            )
+            totals[policy] = sum(
+                engine.distance(s, t).stats.activations for s, t in pairs
+            )
+        # Upper bound prunes a large share (the paper reports about half)…
+        assert totals["upper-only"] < 0.8 * totals["none"]
+        # …and lower-bound pruning is dramatically stronger still.
+        assert totals["upper+lower"] < 0.15 * totals["upper-only"]
+
+    def test_prune_counters_populate(self):
+        graph = power_law_graph(300, 4, seed=2, weight_range=(1.0, 4.0))
+        index = HubIndex.build(graph, 8)
+        engine = PropagationEngine(graph, index=index, policy="upper+lower")
+        verts = sorted(graph.vertices())
+        stats = engine.distance(verts[0], verts[-1]).stats
+        assert stats.pruned_by_lower_bound + stats.pruned_by_upper_bound >= 0

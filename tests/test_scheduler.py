@@ -1,0 +1,93 @@
+"""EpochScheduler interleaving tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.config import SGraphConfig
+from repro.errors import WorkloadError
+from repro.graph.generators import power_law_graph
+from repro.graph.stats import sample_vertex_pairs
+from repro.sgraph import SGraph
+from repro.streaming.scheduler import EpochScheduler
+from repro.streaming.workload import sliding_window_stream
+
+
+@pytest.fixture
+def scheduled_setup():
+    graph = power_law_graph(300, 3, seed=8, weight_range=(1.0, 4.0))
+    sg = SGraph(graph=graph, config=SGraphConfig(num_hubs=6))
+    pairs = sample_vertex_pairs(graph, 16, seed=9)
+    updates = list(sliding_window_stream(graph, 60, seed=10))
+    return sg, pairs, updates
+
+
+class TestScheduler:
+    def test_round_accounting(self, scheduled_setup):
+        sg, pairs, updates = scheduled_setup
+        scheduler = EpochScheduler(sg, sg.distance)
+        report = scheduler.run(updates, pairs, updates_per_round=20,
+                               queries_per_round=4)
+        assert len(report.rounds) == 3
+        assert report.total_updates == 60
+        assert report.total_queries == 12
+        assert report.query_stats.total == 12
+        assert report.updates_per_second > 0
+        row = report.as_row()
+        assert row["rounds"] == 3
+        assert "q_p99_ms" in row
+
+    def test_queries_observe_fresh_epochs(self, scheduled_setup):
+        sg, pairs, updates = scheduled_setup
+        epochs = []
+        scheduler = EpochScheduler(
+            sg, lambda s, t: epochs.append(sg.epoch) or sg.distance(s, t)
+        )
+        scheduler.run(updates, pairs, updates_per_round=30,
+                      queries_per_round=2)
+        # The second round's queries must see a later epoch than the first's.
+        assert epochs[2] > epochs[0]
+
+    def test_answers_stay_correct_under_interleaving(self, scheduled_setup):
+        sg, pairs, updates = scheduled_setup
+        from repro.baselines.dijkstra import dijkstra_distance
+
+        checked = []
+
+        def query(s, t):
+            result = sg.distance(s, t)
+            ref, _stats = dijkstra_distance(sg.graph, s, t)
+            checked.append((result.value, ref))
+            return result
+
+        scheduler = EpochScheduler(sg, query)
+        scheduler.run(updates, pairs, updates_per_round=15,
+                      queries_per_round=3)
+        assert checked
+        for got, want in checked:
+            assert got == pytest.approx(want)
+
+    def test_zero_queries_per_round(self, scheduled_setup):
+        sg, pairs, updates = scheduled_setup
+        report = EpochScheduler(sg, sg.distance).run(
+            updates, pairs, updates_per_round=30, queries_per_round=0
+        )
+        assert report.total_queries == 0
+        assert report.total_updates == 60
+
+    def test_invalid_round_sizes(self, scheduled_setup):
+        sg, pairs, updates = scheduled_setup
+        scheduler = EpochScheduler(sg, sg.distance)
+        with pytest.raises(WorkloadError):
+            scheduler.run(updates, pairs, updates_per_round=0,
+                          queries_per_round=1)
+        with pytest.raises(WorkloadError):
+            scheduler.run(updates, [], updates_per_round=5,
+                          queries_per_round=1)
+
+    def test_query_workload_cycles(self, scheduled_setup):
+        sg, pairs, updates = scheduled_setup
+        report = EpochScheduler(sg, sg.distance).run(
+            updates, pairs[:2], updates_per_round=20, queries_per_round=5
+        )
+        assert report.total_queries == 15

@@ -1,0 +1,142 @@
+"""Algebra-law tests for the path semirings.
+
+The pruning machinery is only sound if the residual bounds really are
+optimistic; these tests check the laws both on hand-picked cases and via
+random triangle configurations generated from actual graphs.
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.semiring import (
+    BOTTLENECK_CAPACITY,
+    SHORTEST_DISTANCE,
+    BottleneckCapacity,
+    ShortestDistance,
+)
+
+INF = math.inf
+finite_w = st.floats(0.1, 100.0, allow_nan=False)
+
+
+class TestShortestDistance:
+    sr = SHORTEST_DISTANCE
+
+    def test_identities(self):
+        assert self.sr.source_value == 0.0
+        assert self.sr.unreachable == INF
+        assert self.sr.name == "distance"
+
+    def test_extend_and_concat(self):
+        assert self.sr.extend(2.0, 3.0) == 5.0
+        assert self.sr.concat(2.0, 3.0) == 5.0
+        assert self.sr.concat(INF, 3.0) == INF
+
+    def test_better_and_priority(self):
+        assert self.sr.is_better(1.0, 2.0)
+        assert not self.sr.is_better(2.0, 2.0)
+        assert self.sr.priority(4.0) == 4.0
+        assert self.sr.best(3.0, 1.0) == 1.0
+
+    def test_reachability(self):
+        assert self.sr.is_reachable(5.0)
+        assert not self.sr.is_reachable(INF)
+
+    def test_residual_from_hub_cases(self):
+        # no information about v
+        assert self.sr.residual_from_hub(INF, 7.0) == 0.0
+        assert self.sr.residual_from_hub(INF, INF) == 0.0
+        # unreachability proof
+        assert self.sr.residual_from_hub(3.0, INF) == INF
+        # plain triangle bound, clamped at 0
+        assert self.sr.residual_from_hub(3.0, 10.0) == 7.0
+        assert self.sr.residual_from_hub(10.0, 3.0) == 0.0
+
+    def test_residual_to_hub_cases(self):
+        assert self.sr.residual_to_hub(5.0, INF) == 0.0
+        assert self.sr.residual_to_hub(INF, 4.0) == INF
+        assert self.sr.residual_to_hub(9.0, 4.0) == 5.0
+        assert self.sr.residual_to_hub(2.0, 4.0) == 0.0
+
+    def test_tighter_residual(self):
+        assert self.sr.tighter_residual(3.0, 5.0) == 5.0
+
+
+class TestBottleneckCapacity:
+    sr = BOTTLENECK_CAPACITY
+
+    def test_identities(self):
+        assert self.sr.source_value == INF
+        assert self.sr.unreachable == -INF
+        assert self.sr.name == "capacity"
+
+    def test_extend_and_concat(self):
+        assert self.sr.extend(5.0, 3.0) == 3.0
+        assert self.sr.concat(5.0, 3.0) == 3.0
+        assert self.sr.concat(-INF, 3.0) == -INF
+
+    def test_better_and_priority(self):
+        assert self.sr.is_better(5.0, 3.0)
+        assert not self.sr.is_better(3.0, 3.0)
+        assert self.sr.priority(4.0) == -4.0
+
+    def test_residual_from_hub_cases(self):
+        assert self.sr.residual_from_hub(-INF, 3.0) == INF  # no info
+        assert self.sr.residual_from_hub(3.0, -INF) == -INF  # unreachable
+        assert self.sr.residual_from_hub(5.0, 3.0) == 3.0  # binding
+        assert self.sr.residual_from_hub(3.0, 5.0) == INF  # no constraint
+
+    def test_residual_to_hub_cases(self):
+        assert self.sr.residual_to_hub(4.0, -INF) == INF
+        assert self.sr.residual_to_hub(-INF, 4.0) == -INF
+        assert self.sr.residual_to_hub(3.0, 5.0) == 3.0
+        assert self.sr.residual_to_hub(5.0, 3.0) == INF
+
+    def test_tighter_residual(self):
+        assert self.sr.tighter_residual(3.0, 5.0) == 3.0
+
+
+@given(
+    st.lists(finite_w, min_size=1, max_size=6),
+    st.lists(finite_w, min_size=1, max_size=6),
+)
+@settings(max_examples=80, deadline=None)
+def test_distance_residual_soundness_on_path_split(prefix, suffix):
+    """Build a concrete path h→v→t; the residuals must never exceed the
+    actual remaining distance d(v, t)."""
+    sr = SHORTEST_DISTANCE
+    d_hv = sum(prefix)
+    d_vt = sum(suffix)
+    d_ht_upper = d_hv + d_vt  # the real d(h,t) can only be <= this
+    # Any consistent d(h,t) in [|d_hv - d_vt|, d_hv + d_vt] must give a
+    # residual <= d_vt.
+    for d_ht in (abs(d_hv - d_vt), d_ht_upper, (abs(d_hv - d_vt) + d_ht_upper) / 2):
+        assert sr.residual_from_hub(d_hv, d_ht) <= d_vt + 1e-9
+
+
+@given(
+    st.lists(finite_w, min_size=1, max_size=6),
+    st.lists(finite_w, min_size=1, max_size=6),
+)
+@settings(max_examples=80, deadline=None)
+def test_capacity_residual_soundness_on_path_split(prefix, suffix):
+    """cap(h,t) >= min(cap(h,v), cap(v,t)) implies the residual upper bound
+    is never below the actual cap(v, t) when it binds."""
+    sr = BOTTLENECK_CAPACITY
+    c_hv = min(prefix)
+    c_vt = min(suffix)
+    # The true cap(h, t) is at least the h→v→t witness.
+    c_ht = min(c_hv, c_vt)
+    bound = sr.residual_from_hub(c_hv, c_ht)
+    assert bound >= c_vt - 1e-9
+
+
+def test_singletons_are_the_types():
+    assert isinstance(SHORTEST_DISTANCE, ShortestDistance)
+    assert isinstance(BOTTLENECK_CAPACITY, BottleneckCapacity)
+    assert "ShortestDistance" in repr(SHORTEST_DISTANCE)

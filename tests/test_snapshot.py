@@ -1,0 +1,81 @@
+"""GraphSnapshot isolation and protocol tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import EdgeNotFoundError, VertexNotFoundError
+from repro.graph.dynamic_graph import DynamicGraph
+
+
+class TestIsolation:
+    def test_snapshot_frozen_against_later_mutation(self, triangle_graph):
+        snap = triangle_graph.snapshot()
+        triangle_graph.add_edge(2, 3, 1.0)
+        triangle_graph.remove_edge(0, 1)
+        assert snap.has_edge(0, 1)
+        assert not snap.has_edge(2, 3)
+        assert snap.num_edges == 3
+        assert snap.num_vertices == 3
+
+    def test_snapshot_epoch_recorded(self, triangle_graph):
+        epoch = triangle_graph.epoch
+        snap = triangle_graph.snapshot()
+        assert snap.epoch == epoch
+        triangle_graph.add_edge(5, 6)
+        assert snap.epoch == epoch
+
+    def test_two_snapshots_are_independent(self, line_graph):
+        s1 = line_graph.snapshot()
+        line_graph.remove_edge(0, 1)
+        s2 = line_graph.snapshot()
+        assert s1.has_edge(0, 1)
+        assert not s2.has_edge(0, 1)
+
+    def test_directed_snapshot_reverse_adjacency(self, directed_diamond):
+        snap = directed_diamond.snapshot()
+        directed_diamond.remove_edge(0, 1)
+        assert dict(snap.in_items(1)) == {0: 1.0}
+        assert dict(snap.out_items(0)) == {1: 1.0, 2: 2.0}
+
+
+class TestProtocol:
+    def test_counts_and_membership(self, triangle_graph):
+        snap = triangle_graph.snapshot()
+        assert len(snap) == 3
+        assert 0 in snap
+        assert 9 not in snap
+        assert snap.has_vertex(1)
+        assert not snap.directed
+
+    def test_degrees(self, directed_diamond):
+        snap = directed_diamond.snapshot()
+        assert snap.out_degree(0) == 2
+        assert snap.in_degree(3) == 2
+        assert snap.degree(1) == 2
+
+    def test_edge_weight(self, triangle_graph):
+        snap = triangle_graph.snapshot()
+        assert snap.edge_weight(0, 2) == 4.0
+        with pytest.raises(EdgeNotFoundError):
+            snap.edge_weight(0, 99)
+        with pytest.raises(VertexNotFoundError):
+            snap.edge_weight(99, 0)
+
+    def test_missing_vertex_traversal_raises(self, triangle_graph):
+        snap = triangle_graph.snapshot()
+        with pytest.raises(VertexNotFoundError):
+            snap.out_items(42)
+        with pytest.raises(VertexNotFoundError):
+            snap.in_items(42)
+
+    def test_edges_match_source(self, small_powerlaw):
+        snap = small_powerlaw.snapshot()
+        assert sorted(snap.edge_list()) == sorted(small_powerlaw.edge_list())
+
+    def test_repr(self, triangle_graph):
+        assert "GraphSnapshot" in repr(triangle_graph.snapshot())
+
+    def test_vertices_iteration(self, two_components):
+        snap = two_components.snapshot()
+        assert sorted(snap.vertices()) == [0, 1, 2, 3]

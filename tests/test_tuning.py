@@ -1,0 +1,75 @@
+"""Auto-tuner tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.tuning import auto_tune
+from repro.errors import ConfigError
+from repro.graph.generators import grid_graph, power_law_graph
+from repro.sgraph import SGraph
+
+
+class TestAutoTune:
+    def test_returns_valid_config(self):
+        graph = power_law_graph(300, 3, seed=1, weight_range=(1.0, 4.0))
+        result = auto_tune(graph, hub_budgets=(2, 4), num_pairs=12,
+                           strategies=("degree", "random"))
+        assert result.config.num_hubs in (2, 4)
+        assert result.config.hub_strategy in ("degree", "random")
+        assert result.chosen.num_hubs == result.config.num_hubs
+
+    def test_config_usable_by_facade(self):
+        graph = power_law_graph(300, 3, seed=1, weight_range=(1.0, 4.0))
+        result = auto_tune(graph, hub_budgets=(2, 4), num_pairs=8,
+                           strategies=("degree",))
+        sg = SGraph(graph=graph, config=result.config)
+        verts = sorted(graph.vertices())
+        assert sg.distance(verts[0], verts[10]).reachable
+
+    def test_candidate_table_complete(self):
+        graph = power_law_graph(200, 3, seed=2, weight_range=(1.0, 4.0))
+        result = auto_tune(graph, hub_budgets=(2, 4), num_pairs=8,
+                           strategies=("degree", "random"))
+        assert len(result.candidates) == 4
+        rows = result.rows()
+        assert sum(1 for row in rows if row["chosen"] == "*") == 1
+
+    def test_prefers_fewer_hubs_within_slack(self):
+        graph = power_law_graph(300, 3, seed=3, weight_range=(1.0, 4.0))
+        # Infinite slack: every candidate admissible, so the smallest k
+        # must win regardless of tightness.
+        result = auto_tune(graph, hub_budgets=(2, 8, 16), num_pairs=8,
+                           strategies=("degree",), slack=1e9)
+        assert result.config.num_hubs == 2
+
+    def test_road_graph_avoids_degree_hubs(self):
+        graph = grid_graph(24, 24, seed=4, weight_range=(1.0, 10.0))
+        result = auto_tune(graph, hub_budgets=(16,), num_pairs=16,
+                           strategies=("degree", "far-apart"), slack=1.05)
+        assert result.config.hub_strategy == "far-apart"
+
+    def test_budgets_clamped_to_graph(self):
+        graph = power_law_graph(20, 2, seed=5)
+        result = auto_tune(graph, hub_budgets=(4, 10_000), num_pairs=6,
+                           strategies=("degree",))
+        assert result.config.num_hubs == 4
+
+    def test_validation(self):
+        graph = power_law_graph(50, 2, seed=6)
+        with pytest.raises(ConfigError):
+            auto_tune(graph, hub_budgets=())
+        with pytest.raises(ConfigError):
+            auto_tune(graph, slack=0.5)
+        with pytest.raises(ConfigError):
+            auto_tune(graph, hub_budgets=(10_000,))
+
+
+class TestCliTune:
+    def test_tune_command(self, capsys):
+        from repro.cli import main
+
+        assert main(["tune", "collab-sw", "--pairs", "6"]) == 0
+        out = capsys.readouterr().out
+        assert "chosen:" in out
+        assert "gap_p50" in out

@@ -1,0 +1,93 @@
+"""Tests for repro.utils.rng and repro.utils.timer."""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.utils.rng import make_rng, spawn_rngs
+from repro.utils.timer import Stopwatch, format_duration
+
+
+class TestRng:
+    def test_make_rng_deterministic(self):
+        a = make_rng(5)
+        b = make_rng(5)
+        assert [a.random() for _ in range(10)] == [b.random() for _ in range(10)]
+
+    def test_spawn_count(self):
+        assert len(spawn_rngs(1, 4)) == 4
+        assert spawn_rngs(1, 0) == []
+
+    def test_spawn_negative_raises(self):
+        with pytest.raises(ValueError):
+            spawn_rngs(1, -1)
+
+    def test_spawn_children_independent(self):
+        a, b = spawn_rngs(7, 2)
+        seq_a = [a.random() for _ in range(20)]
+        seq_b = [b.random() for _ in range(20)]
+        assert seq_a != seq_b
+
+    def test_spawn_deterministic(self):
+        first = [r.random() for r in spawn_rngs(3, 3)]
+        second = [r.random() for r in spawn_rngs(3, 3)]
+        assert first == second
+
+    def test_adjacent_seeds_differ(self):
+        a = spawn_rngs(10, 1)[0]
+        b = spawn_rngs(11, 1)[0]
+        assert [a.random() for _ in range(5)] != [b.random() for _ in range(5)]
+
+
+class TestStopwatch:
+    def test_context_manager_lap(self):
+        sw = Stopwatch()
+        with sw:
+            time.sleep(0.001)
+        assert sw.elapsed > 0
+        assert len(sw.laps) == 1
+
+    def test_multiple_laps_accumulate(self):
+        sw = Stopwatch()
+        for _ in range(3):
+            with sw:
+                pass
+        assert len(sw.laps) == 3
+        assert sw.elapsed == pytest.approx(sum(sw.laps))
+
+    def test_double_start_raises(self):
+        sw = Stopwatch()
+        sw.start()
+        with pytest.raises(RuntimeError):
+            sw.start()
+
+    def test_stop_without_start_raises(self):
+        with pytest.raises(RuntimeError):
+            Stopwatch().stop()
+
+    def test_reset(self):
+        sw = Stopwatch()
+        with sw:
+            pass
+        sw.reset()
+        assert sw.elapsed == 0
+        assert sw.laps == []
+
+
+class TestFormatDuration:
+    @pytest.mark.parametrize(
+        "seconds,expected_unit",
+        [(5e-10, "ns"), (5e-7, "ns"), (5e-5, "us"), (5e-2, "ms"), (5.0, "s")],
+    )
+    def test_units(self, seconds, expected_unit):
+        assert format_duration(seconds).endswith(expected_unit)
+
+    def test_negative_raises(self):
+        with pytest.raises(ValueError):
+            format_duration(-1.0)
+
+    def test_values(self):
+        assert format_duration(0.0025) == "2.50 ms"
+        assert format_duration(1.5) == "1.500 s"

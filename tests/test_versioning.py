@@ -1,0 +1,135 @@
+"""VersionedStore / FrozenView tests."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.core.config import SGraphConfig
+from repro.errors import ConfigError, SnapshotError
+from repro.graph.generators import erdos_renyi_graph, power_law_graph
+from repro.sgraph import SGraph
+from repro.streaming.versioning import VersionedStore
+from tests.conftest import reference_dijkstra
+
+
+@pytest.fixture
+def sg():
+    graph = power_law_graph(200, 3, seed=5, weight_range=(1.0, 4.0))
+    instance = SGraph(
+        graph=graph,
+        config=SGraphConfig(num_hubs=4, queries=("distance", "hops")),
+    )
+    instance.rebuild_indexes()
+    return instance
+
+
+class TestPublish:
+    def test_view_identity(self, sg):
+        store = VersionedStore(sg)
+        view = store.publish(label="v1")
+        assert view.epoch == sg.epoch
+        assert view.label == "v1"
+        assert view.num_vertices == sg.num_vertices
+        assert "FrozenView" in repr(view)
+
+    def test_same_epoch_dedup(self, sg):
+        store = VersionedStore(sg)
+        assert store.publish() is store.publish()
+        assert len(store) == 1
+
+    def test_capacity_eviction(self, sg):
+        store = VersionedStore(sg, capacity=2)
+        first = store.publish()
+        sg.add_edge(0, 199, 1.0)
+        store.publish()
+        sg.add_edge(1, 198, 1.0)
+        store.publish()
+        assert len(store) == 2
+        assert first.epoch not in store.epochs()
+        with pytest.raises(SnapshotError):
+            store.view_at(first.epoch)
+
+    def test_invalid_capacity(self, sg):
+        with pytest.raises(ConfigError):
+            VersionedStore(sg, capacity=0)
+
+    def test_latest_requires_publish(self, sg):
+        store = VersionedStore(sg)
+        with pytest.raises(SnapshotError):
+            store.latest()
+        view = store.publish()
+        assert store.latest() is view
+
+
+class TestIsolation:
+    def test_old_view_unaffected_by_churn(self, sg):
+        store = VersionedStore(sg)
+        verts = sorted(sg.graph.vertices())
+        s, t = verts[0], verts[50]
+        before = sg.distance(s, t).value
+        view = store.publish()
+        # Heavy churn after publication.
+        sg.add_edge(s, t, 0.5)
+        for v in verts[1:20]:
+            sg.discard_edge(s, v)
+        assert sg.distance(s, t).value == 0.5
+        assert view.distance(s, t).value == pytest.approx(before)
+
+    def test_view_matches_oracle_at_publication(self, sg):
+        store = VersionedStore(sg)
+        frozen_graph = sg.graph.copy()
+        view = store.publish()
+        sg.add_edge(0, 100, 0.1)  # post-publication change
+        verts = sorted(frozen_graph.vertices())
+        ref = reference_dijkstra(frozen_graph, verts[0])
+        for t in verts[1:20]:
+            assert view.distance(verts[0], t).value == pytest.approx(
+                ref.get(t, math.inf)
+            )
+
+    def test_hops_and_reachable_on_view(self, sg):
+        store = VersionedStore(sg)
+        view = store.publish()
+        verts = sorted(sg.graph.vertices())
+        r = view.hop_distance(verts[0], verts[10])
+        assert r.epoch == view.epoch
+        assert view.reachable(verts[0], verts[10]).value in (0.0, 1.0)
+
+    def test_unconfigured_family_raises(self, sg):
+        store = VersionedStore(sg)
+        view = store.publish()
+        with pytest.raises(ConfigError):
+            view.bottleneck(0, 1)
+
+    def test_directed_views(self):
+        graph = erdos_renyi_graph(60, 240, seed=7, directed=True,
+                                  weight_range=(1.0, 4.0))
+        sg = SGraph(graph=graph, config=SGraphConfig(num_hubs=3))
+        sg.rebuild_indexes()
+        store = VersionedStore(sg)
+        view = store.publish()
+        verts = sorted(graph.vertices())
+        before = [view.distance(verts[0], t).value for t in verts[1:10]]
+        for s, d, _w in list(graph.edges())[:30]:
+            sg.discard_edge(s, d)
+        after = [view.distance(verts[0], t).value for t in verts[1:10]]
+        assert before == after
+
+
+class TestMultiVersionHistory:
+    def test_time_travel_sequence(self, sg):
+        store = VersionedStore(sg, capacity=8)
+        verts = sorted(sg.graph.vertices())
+        s, t = verts[0], verts[60]
+        history = []
+        for step in range(4):
+            view = store.publish(label=f"step{step}")
+            history.append((view, sg.distance(s, t).value))
+            sg.add_edge(s, verts[60 - step], 0.5 + step)
+        for view, expected in history:
+            assert view.distance(s, t).value == pytest.approx(expected), (
+                view.label
+            )
+        assert store.epochs() == sorted(store.epochs())
