@@ -1,0 +1,42 @@
+"""E18 — snapshot + publish latency vs churn delta.
+
+Claim reproduced: delta-versioned storage makes publishing a queryable
+version O(updates since the last publish).  The table sweeps delta sizes
+(1, 10, 100, 1000 updates between publishes) on a fixed R-MAT graph at two
+scales; the small-delta publish latency must be measurably independent of
+|V| (the two scales differ ~8x in size), while the initial full-copy
+publish is allowed to — and does — grow with the graph.
+"""
+
+from benchmarks.conftest import run_rows
+from repro.bench.experiments import run_e18_publish
+
+
+def test_e18_publish_latency(benchmark):
+    rows = run_rows(
+        benchmark, run_e18_publish,
+        "E18 — publish latency vs churn delta (two graph scales)",
+        scales=(12, 15), deltas=(1, 10, 100, 1000), publishes_per_delta=3,
+    )
+    by_scale = {}
+    for r in rows:
+        by_scale.setdefault(r["scale"], {})[r["delta"]] = r
+
+    small, large = (by_scale[s] for s in sorted(by_scale))
+    # The larger graph really is much larger (≈8x vertices, >100k edges).
+    assert large[10]["vertices"] > 5 * small[10]["vertices"]
+    assert large[10]["edges"] > 100_000
+
+    # O(Δ) publish: after a 10-update batch, latency on the big graph must
+    # be within noise of the small graph (generous 4x for CI jitter), not
+    # scaled by the ~8x size ratio.
+    assert large[10]["publish_ms"] < 4 * max(small[10]["publish_ms"], 0.01)
+
+    # The full first publish does scale with the graph — the delta publish
+    # must beat it by a wide margin at both scales.
+    for table in (small, large):
+        assert table[10]["publish_ms"] < table[10]["full_publish_ms"] / 5
+
+    # Latency grows with delta, not with graph size: the 1000-update publish
+    # dwarfs the 1-update publish on the same graph.
+    assert large[1000]["publish_ms"] > large[1]["publish_ms"]

@@ -14,7 +14,6 @@ pruning rule itself — exactly the paper's ablation.
 from __future__ import annotations
 
 import time
-from typing import Optional
 
 from repro.core.engine import PairwiseEngine
 from repro.core.hub_index import HubIndex

@@ -190,7 +190,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     experiment = sub.add_parser("experiment",
                                 help="regenerate an experiment table")
-    experiment.add_argument("id", help="e1..e15, or 'all'")
+    experiment.add_argument("id", help="e1..e18, or 'all'")
     experiment.set_defaults(fn=_cmd_experiment)
 
     return parser

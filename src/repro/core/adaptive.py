@@ -22,7 +22,7 @@ below ~2.5 mark the regime where pruning wins.
 from __future__ import annotations
 
 import math
-from typing import Optional, Tuple
+from typing import Tuple
 
 from repro.core.bounds import QueryBounds
 from repro.core.engine import PairwiseEngine

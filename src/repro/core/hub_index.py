@@ -18,12 +18,16 @@ proportional to the affected region instead of a full rebuild.
 from __future__ import annotations
 
 import sys
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
 from repro.core.hub_selection import select_hubs
 from repro.core.semiring import SHORTEST_DISTANCE, PathSemiring
 from repro.errors import ConfigError, IndexStateError
+from repro.graph.deltas import TOMBSTONE, derive_mapping
 from repro.streaming.incremental_sssp import IncrementalBestPath
+
+#: per-hub frozen cost tables, keyed by hub vertex
+FrozenTables = Dict[int, Mapping]
 
 
 class HubIndex:
@@ -67,6 +71,10 @@ class HubIndex:
                 self._backward[h] = fwd
         #: vertices settled by the most recent notify call (maintenance metric)
         self.settled_last_update = 0
+        # Baseline for delta-derived freezes: the tables handed out by the
+        # previous freeze() call (immutable; shared with published views).
+        self._frozen_fwd: FrozenTables = {}
+        self._frozen_bwd: FrozenTables = {}
 
     # -- construction ------------------------------------------------------------
 
@@ -89,16 +97,18 @@ class HubIndex:
         graph,
         hubs: Sequence[int],
         semiring: PathSemiring,
-        forward_tables: Dict[int, Dict[int, float]],
-        backward_tables: Optional[Dict[int, Dict[int, float]]] = None,
+        forward_tables: Dict[int, Mapping],
+        backward_tables: Optional[Dict[int, Mapping]] = None,
+        copy: bool = True,
     ) -> "HubIndex":
         """Reconstruct an index from persisted cost tables (no rebuild).
 
         ``backward_tables`` is required for directed graphs and ignored for
-        undirected ones (where backward aliases forward).
+        undirected ones (where backward aliases forward).  ``copy=False``
+        adopts the mappings by reference — the frozen-publish path, where
+        tables are structurally shared across versions and the index is
+        never notified of updates.
         """
-        from repro.streaming.incremental_sssp import IncrementalBestPath
-
         index = cls.__new__(cls)
         index._graph = graph
         index._hubs = list(hubs)
@@ -106,9 +116,11 @@ class HubIndex:
         index._forward = {}
         index._backward = {}
         index.settled_last_update = 0
+        index._frozen_fwd = {}
+        index._frozen_bwd = {}
         for h in index._hubs:
             fwd = IncrementalBestPath.from_cost_table(
-                graph, h, semiring, "forward", forward_tables[h]
+                graph, h, semiring, "forward", forward_tables[h], copy=copy
             )
             index._forward[h] = fwd
             if graph.directed:
@@ -117,7 +129,8 @@ class HubIndex:
                         "directed index restore needs backward tables"
                     )
                 index._backward[h] = IncrementalBestPath.from_cost_table(
-                    graph, h, semiring, "backward", backward_tables[h]
+                    graph, h, semiring, "backward", backward_tables[h],
+                    copy=copy,
                 )
             else:
                 index._backward[h] = fwd
@@ -204,6 +217,46 @@ class HubIndex:
             bwd = self._backward[h]
             if bwd is not self._forward[h]:
                 bwd.ensure_fresh()
+
+    # -- freezing (the publish path) ---------------------------------------------
+
+    def freeze(self) -> Tuple[FrozenTables, FrozenTables]:
+        """Immutable per-hub cost tables for publishing a version.
+
+        Drains each maintainer's change journal and derives the new frozen
+        table from the previous freeze's table plus those changes, so the
+        cost is O(vertices whose cost changed since the last freeze) — an
+        unchanged tree hands back the *same* mapping object.  Only the first
+        freeze (or one after a wholesale rebuild) pays a full table copy.
+
+        Returns ``(forward, backward)``; ``backward`` is empty for
+        undirected graphs, where the two directions alias.
+        """
+        fwd: FrozenTables = {}
+        bwd: FrozenTables = {}
+        for h in self._hubs:
+            fwd[h] = self._freeze_tree(self._forward[h],
+                                       self._frozen_fwd.get(h))
+            bwd_tree = self._backward[h]
+            if bwd_tree is not self._forward[h]:
+                bwd[h] = self._freeze_tree(bwd_tree, self._frozen_bwd.get(h))
+        self._frozen_fwd = fwd
+        self._frozen_bwd = bwd
+        return fwd, bwd
+
+    @staticmethod
+    def _freeze_tree(
+        tree: IncrementalBestPath, prev: Optional[Mapping]
+    ) -> Mapping:
+        full, changes = tree.drain_changes()
+        if full or prev is None:
+            return dict(tree.raw_cost_table())
+        if not changes:
+            return prev
+        return derive_mapping(
+            prev,
+            {v: (TOMBSTONE if new is None else new) for v, _old, new in changes},
+        )
 
     def rebuild(self) -> None:
         """Full rebuild of every hub tree (the non-incremental baseline).

@@ -6,6 +6,7 @@ from repro.graph.algorithms import (
     strongly_connected_components,
 )
 from repro.graph.csr import CSRGraph
+from repro.graph.deltas import CostJournal, LayeredMapping, derive_mapping
 from repro.graph.dynamic_graph import DynamicGraph
 from repro.graph.history import HistoryGraph
 from repro.graph.generators import (
@@ -21,6 +22,9 @@ __all__ = [
     "DynamicGraph",
     "GraphSnapshot",
     "CSRGraph",
+    "CostJournal",
+    "LayeredMapping",
+    "derive_mapping",
     "HistoryGraph",
     "ReachabilityOracle",
     "condensation",

@@ -16,8 +16,7 @@ pretending SCC maintenance under churn is easy.
 
 from __future__ import annotations
 
-from collections import deque
-from typing import Dict, FrozenSet, List, Set, Tuple
+from typing import Dict, List, Set, Tuple
 
 from repro.errors import GraphError
 

@@ -16,7 +16,7 @@ stands in for, and built deterministically from its recorded seed.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Optional, Tuple
+from typing import Callable, Dict, List
 
 from repro.errors import ConfigError
 from repro.graph.dynamic_graph import DynamicGraph

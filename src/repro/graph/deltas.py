@@ -1,0 +1,242 @@
+"""Delta journals and structurally shared mappings.
+
+This module is the substrate for O(Δ) snapshots and publishes: instead of
+copying a whole adjacency (or a whole hub cost table) every time a version is
+frozen, the new version is *derived* from the previous one plus the set of
+keys that actually changed.
+
+Two pieces:
+
+* :class:`LayeredMapping` — an immutable mapping that shares an untouched
+  ``base`` mapping with older versions and layers a small ``overrides`` dict
+  (plus a ``deleted`` key set) on top.  Lookups stay O(1) because there are
+  always exactly two levels: deriving version *n+1* from version *n* merges
+  *n*'s override layer with the new changes rather than chaining.  When the
+  accumulated override layer grows past a fraction of the base, the derive
+  step compacts into a plain dict — so the per-derive cost is O(Δ) amortized
+  and never degrades lookups.
+
+* :class:`CostJournal` — a first-write-wins record of ``key → old value``
+  kept by an incremental maintainer between freezes.  Draining it against the
+  maintainer's current table yields the net ``(key, old, new)`` change list
+  that :func:`derive_mapping` consumes.  A journal can be marked *full*
+  (after a from-scratch rebuild) which tells the drainer that the delta is
+  the whole table.
+
+Both are value-type agnostic: the graph layer stores per-vertex adjacency
+dicts as values, the streaming layer stores float costs.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping
+from typing import Any, Dict, Iterator, List, Optional, Set, Tuple
+
+
+class _Tombstone:
+    """Sentinel marking a deleted key in a change map."""
+
+    __slots__ = ()
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return "<TOMBSTONE>"
+
+
+#: change-map value meaning "this key was removed"
+TOMBSTONE = _Tombstone()
+
+#: journal value meaning "this key was absent when first touched"
+ABSENT = _Tombstone()
+
+
+class LayeredMapping(Mapping):
+    """Immutable two-level mapping: shared ``base`` + per-version overlay.
+
+    ``deleted`` must only contain keys present in ``base`` and must be
+    disjoint from ``overrides`` — :func:`derive_mapping` maintains both
+    invariants; construct through it rather than directly.
+    """
+
+    __slots__ = ("_base", "_overrides", "_deleted", "_len")
+
+    def __init__(
+        self,
+        base: Mapping,
+        overrides: Dict[Any, Any],
+        deleted: Set[Any],
+    ) -> None:
+        self._base = base
+        self._overrides = overrides
+        self._deleted = deleted
+        extra = sum(1 for k in overrides if k not in base)
+        self._len = len(base) - len(deleted) + extra
+
+    # -- introspection (tests assert structural sharing through these) -------
+
+    @property
+    def base(self) -> Mapping:
+        return self._base
+
+    @property
+    def overlay_size(self) -> int:
+        """Number of keys carried by the overlay (overrides + tombstones)."""
+        return len(self._overrides) + len(self._deleted)
+
+    def __repr__(self) -> str:
+        return (
+            f"LayeredMapping(|base|={len(self._base)}, "
+            f"overrides={len(self._overrides)}, deleted={len(self._deleted)})"
+        )
+
+    # -- mapping protocol ----------------------------------------------------
+
+    def __getitem__(self, key):
+        try:
+            return self._overrides[key]
+        except KeyError:
+            pass
+        if key in self._deleted:
+            raise KeyError(key)
+        return self._base[key]
+
+    def get(self, key, default=None):
+        try:
+            return self._overrides[key]
+        except KeyError:
+            pass
+        if key in self._deleted:
+            return default
+        base = self._base
+        try:
+            return base[key]
+        except KeyError:
+            return default
+
+    def __contains__(self, key) -> bool:
+        if key in self._overrides:
+            return True
+        if key in self._deleted:
+            return False
+        return key in self._base
+
+    def __iter__(self) -> Iterator:
+        overrides = self._overrides
+        deleted = self._deleted
+        for key in self._base:
+            if key not in deleted and key not in overrides:
+                yield key
+        yield from overrides
+
+    def __len__(self) -> int:
+        return self._len
+
+    def flatten(self) -> dict:
+        """Materialize into a plain dict (O(n); used by compaction)."""
+        flat = dict(self._base)
+        for key in self._deleted:
+            del flat[key]
+        flat.update(self._overrides)
+        return flat
+
+
+def derive_mapping(
+    prev: Mapping,
+    changes: Mapping,
+    min_compact: int = 64,
+    compact_ratio: int = 4,
+) -> Mapping:
+    """New immutable mapping = ``prev`` + ``changes``, sharing structure.
+
+    ``changes`` maps keys to their new values, or to :data:`TOMBSTONE` for
+    removals.  ``prev`` may be a plain dict or a previously derived
+    :class:`LayeredMapping`; either way it is never mutated, so older
+    versions holding it stay valid.  Cost is O(cumulative changes since the
+    underlying base was last compacted), independent of ``len(prev)`` —
+    except for the compaction itself, which runs when the overlay exceeds
+    ``max(min_compact, len(base) // compact_ratio)`` keys and amortizes to
+    O(Δ) per derive.
+    """
+    if not changes:
+        return prev
+    if isinstance(prev, LayeredMapping):
+        base = prev._base
+        overrides = dict(prev._overrides)
+        deleted = set(prev._deleted)
+    else:
+        base = prev
+        overrides = {}
+        deleted = set()
+    for key, value in changes.items():
+        if value is TOMBSTONE:
+            overrides.pop(key, None)
+            if key in base:
+                deleted.add(key)
+        else:
+            overrides[key] = value
+            deleted.discard(key)
+    layered = LayeredMapping(base, overrides, deleted)
+    if layered.overlay_size > max(min_compact, len(base) // compact_ratio):
+        return layered.flatten()
+    return layered
+
+
+class CostJournal:
+    """First-write-wins record of old values between two freezes.
+
+    The owner calls :meth:`note` *before* every write/delete of a table key,
+    :meth:`mark_full` whenever the whole table is recomputed wholesale, and
+    :meth:`drain` at freeze time to obtain the net change list.
+    """
+
+    __slots__ = ("_old", "_full")
+
+    def __init__(self) -> None:
+        self._old: Dict[Any, Any] = {}
+        self._full = False
+
+    @property
+    def full(self) -> bool:
+        """True when the next drain must treat every key as changed."""
+        return self._full
+
+    def __len__(self) -> int:
+        return len(self._old)
+
+    def note(self, table: Mapping, key) -> None:
+        """Record ``key``'s current value (or absence) if not yet journaled."""
+        if self._full or key in self._old:
+            return
+        self._old[key] = table.get(key, ABSENT)
+
+    def mark_full(self) -> None:
+        """The table was rebuilt from scratch; per-key history is void."""
+        self._full = True
+        self._old.clear()
+
+    def drain(
+        self, current: Mapping
+    ) -> Tuple[bool, List[Tuple[Any, Optional[Any], Optional[Any]]]]:
+        """Reset the journal, returning ``(full, changes)``.
+
+        ``full=True`` means the caller must take a complete copy of
+        ``current``; the change list is then empty.  Otherwise ``changes``
+        holds one ``(key, old, new)`` entry per *net* change since the last
+        drain (no-op round trips are filtered out); ``old``/``new`` are None
+        when the key was absent on that side.
+        """
+        if self._full:
+            self._full = False
+            self._old.clear()
+            return True, []
+        changes: List[Tuple[Any, Optional[Any], Optional[Any]]] = []
+        for key, old in self._old.items():
+            new = current.get(key, ABSENT)
+            if new is ABSENT:
+                if old is not ABSENT:
+                    changes.append((key, old, None))
+            elif old is ABSENT:
+                changes.append((key, None, new))
+            elif new != old:
+                changes.append((key, old, new))
+        self._old.clear()
+        return False, changes

@@ -12,6 +12,14 @@ Weights must be *strictly positive* finite floats: shortest-path semantics
 need non-negative weights, and the incremental index maintainer additionally
 relies on zero-weight cycles being impossible for its deletion repair to be
 sound.  For unweighted use, leave the weight at the default 1.0.
+
+Snapshots are copy-on-write: the graph keeps a dirty-vertex journal since
+the last snapshot, every mutation clones a vertex's adjacency dict only the
+first time that vertex is touched after a snapshot, and
+:meth:`DynamicGraph.snapshot` derives the new snapshot from the previous
+one's mapping plus the journal.  Freezing therefore costs O(vertices changed
+since the last snapshot), not O(V+E), and calling ``snapshot()`` twice at
+the same epoch returns the identical object.
 """
 
 from __future__ import annotations
@@ -24,6 +32,7 @@ from repro.errors import (
     InvalidWeightError,
     VertexNotFoundError,
 )
+from repro.graph.deltas import TOMBSTONE, derive_mapping
 from repro.graph.snapshot import GraphSnapshot
 
 Edge = Tuple[int, int, float]
@@ -57,6 +66,13 @@ class DynamicGraph:
         self._in: Dict[int, Dict[int, float]] = {} if directed else self._out
         self._num_edges = 0
         self._epoch = 0
+        # Dirty-vertex journal: vertices whose adjacency dict was (re)bound
+        # or mutated since the last snapshot.  A vertex NOT in the journal
+        # may share its adjacency dict with the last snapshot, so mutators
+        # clone-before-write on first touch (see _touch_out/_touch_in).
+        self._dirty_out: set = set()
+        self._dirty_in: set = self._dirty_out if not directed else set()
+        self._last_snapshot: Optional[GraphSnapshot] = None
 
     # -- identity -----------------------------------------------------------
 
@@ -91,6 +107,29 @@ class DynamicGraph:
             f"|E|={self.num_edges}, epoch={self._epoch})"
         )
 
+    # -- copy-on-write plumbing ----------------------------------------------
+
+    def _touch_out(self, vertex: int) -> None:
+        """Mark ``vertex``'s forward adjacency dirty, cloning it first when
+        it may be shared with the last snapshot."""
+        if vertex not in self._dirty_out:
+            if self._last_snapshot is not None:
+                nbrs = self._out.get(vertex)
+                if nbrs is not None:
+                    self._out[vertex] = dict(nbrs)
+            self._dirty_out.add(vertex)
+
+    def _touch_in(self, vertex: int) -> None:
+        if not self._directed:
+            self._touch_out(vertex)
+            return
+        if vertex not in self._dirty_in:
+            if self._last_snapshot is not None:
+                nbrs = self._in.get(vertex)
+                if nbrs is not None:
+                    self._in[vertex] = dict(nbrs)
+            self._dirty_in.add(vertex)
+
     # -- vertices -------------------------------------------------------------
 
     def add_vertex(self, vertex: int) -> bool:
@@ -98,8 +137,10 @@ class DynamicGraph:
         if vertex in self._out:
             return False
         self._out[vertex] = {}
+        self._dirty_out.add(vertex)
         if self._directed:
             self._in[vertex] = {}
+            self._dirty_in.add(vertex)
         self._epoch += 1
         return True
 
@@ -113,7 +154,9 @@ class DynamicGraph:
             for src in list(self._in[vertex]):
                 self._remove_edge_internal(src, vertex)
             del self._in[vertex]
+            self._dirty_in.add(vertex)
         del self._out[vertex]
+        self._dirty_out.add(vertex)
         self._epoch += 1
 
     def vertices(self) -> Iterator[int]:
@@ -134,11 +177,14 @@ class DynamicGraph:
         weight = _check_weight(weight)
         self.add_vertex(src)
         self.add_vertex(dst)
+        self._touch_out(src)
         created = dst not in self._out[src]
         self._out[src][dst] = weight
         if self._directed:
+            self._touch_in(dst)
             self._in[dst][src] = weight
         elif src != dst:
+            self._touch_out(dst)
             self._out[dst][src] = weight
         if created:
             self._num_edges += 1
@@ -153,10 +199,13 @@ class DynamicGraph:
         self._epoch += 1
 
     def _remove_edge_internal(self, src: int, dst: int) -> None:
+        self._touch_out(src)
         del self._out[src][dst]
         if self._directed:
+            self._touch_in(dst)
             del self._in[dst][src]
         elif src != dst:
+            self._touch_out(dst)
             del self._out[dst][src]
         self._num_edges -= 1
 
@@ -261,23 +310,52 @@ class DynamicGraph:
     def snapshot(self) -> GraphSnapshot:
         """Freeze the current state into an immutable snapshot.
 
-        The snapshot owns copies of the adjacency dicts, so later mutations
-        of this graph never leak into published epochs.
+        Memoized per epoch: calling this twice with no intervening mutation
+        returns the same object.  Otherwise the new snapshot is derived from
+        the previous one plus the dirty-vertex journal — unchanged vertices
+        share their per-vertex adjacency dicts with the previous snapshot
+        (copy-on-write keeps later mutations from leaking in), so the cost
+        is O(vertices changed since the last snapshot).
         """
-        out = {v: dict(nbrs) for v, nbrs in self._out.items()}
-        if self._directed:
-            inn: Optional[Dict[int, Dict[int, float]]] = {
-                v: dict(nbrs) for v, nbrs in self._in.items()
-            }
+        prev = self._last_snapshot
+        if prev is not None and prev.epoch == self._epoch:
+            return prev
+        if prev is None:
+            # First snapshot: one top-level copy that shares the per-vertex
+            # dicts; the copy-on-write discipline protects them from now on.
+            out = dict(self._out)
+            inn = dict(self._in) if self._directed else None
         else:
-            inn = None
-        return GraphSnapshot(
+            out = derive_mapping(prev._out, self._journal_changes(
+                self._dirty_out, self._out))
+            if self._directed:
+                inn = derive_mapping(prev._in, self._journal_changes(
+                    self._dirty_in, self._in))
+            else:
+                inn = None
+        snap = GraphSnapshot(
             out=out,
             inn=inn,
             directed=self._directed,
             num_edges=self._num_edges,
             epoch=self._epoch,
         )
+        self._last_snapshot = snap
+        self._dirty_out.clear()
+        if self._directed:
+            self._dirty_in.clear()
+        return snap
+
+    @staticmethod
+    def _journal_changes(dirty: set, live: Dict[int, Dict[int, float]]) -> Dict:
+        """Snapshot-derivation change map: share the live dict objects for
+        changed vertices (the journal reset re-arms copy-on-write for them)
+        and tombstone removed vertices."""
+        changes: Dict = {}
+        for v in dirty:
+            nbrs = live.get(v)
+            changes[v] = TOMBSTONE if nbrs is None else nbrs
+        return changes
 
     def edge_list(self) -> List[Edge]:
         """Materialize :meth:`edges` as a list (handy for tests)."""

@@ -18,7 +18,7 @@ from __future__ import annotations
 import bisect
 from dataclasses import dataclass
 from enum import Enum
-from typing import Dict, Iterable, List, Optional, Tuple
+from typing import Iterable, List, Optional, Tuple
 
 from repro.errors import GraphError, SnapshotError
 from repro.graph.dynamic_graph import DynamicGraph

@@ -10,27 +10,32 @@ Snapshots expose the same traversal protocol as
 
 from __future__ import annotations
 
-from typing import Dict, ItemsView, Iterator, List, Optional, Tuple
+from typing import ItemsView, Iterator, List, Mapping, Optional, Tuple
 
 from repro.errors import EdgeNotFoundError, SnapshotError, VertexNotFoundError
 
 Edge = Tuple[int, int, float]
+
+Adjacency = Mapping[int, Mapping[int, float]]
 
 
 class GraphSnapshot:
     """Frozen view of a graph at a specific epoch.
 
     Construct via :meth:`repro.graph.DynamicGraph.snapshot`; the constructor
-    takes ownership of the dictionaries passed in and must not be handed
-    aliases of live state.
+    takes ownership of the mappings passed in, which must never be mutated
+    afterwards.  The mappings may structurally share unchanged per-vertex
+    adjacency with other snapshots (and, under the copy-on-write discipline,
+    with the live graph) — sharing is invisible through this read-only
+    surface.
     """
 
     __slots__ = ("_out", "_in", "_directed", "_num_edges", "_epoch")
 
     def __init__(
         self,
-        out: Dict[int, Dict[int, float]],
-        inn: Optional[Dict[int, Dict[int, float]]],
+        out: Adjacency,
+        inn: Optional[Adjacency],
         directed: bool,
         num_edges: int,
         epoch: int,

@@ -27,7 +27,7 @@ from repro.core.semiring import (
     SHORTEST_DISTANCE,
     PathSemiring,
 )
-from repro.errors import IndexStateError, ReproError
+from repro.errors import ReproError
 from repro.graph.io import read_edge_list, write_edge_list
 from repro.graph.views import UnitWeightView
 from repro.sgraph import SGraph

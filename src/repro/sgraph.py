@@ -39,6 +39,7 @@ from repro.core.semiring import (
 )
 from repro.errors import ConfigError, QueryError
 from repro.graph.dynamic_graph import DynamicGraph
+from repro.graph.snapshot import GraphSnapshot
 from repro.graph.views import UnitWeightView
 from repro.streaming.update import EdgeUpdate, UpdateKind
 
@@ -71,6 +72,7 @@ class SGraph:
         self._hubs: set = set()
         self._cache = (QueryCache(self._config.cache_size)
                        if self._config.cache_size > 0 else None)
+        self._last_published_epoch: Optional[int] = None
         #: vertices settled by index maintenance for the last update applied
         self.last_maintenance_settled = 0
 
@@ -111,6 +113,25 @@ class SGraph:
     def cache(self) -> Optional[QueryCache]:
         """The epoch-guarded result cache, when enabled by the config."""
         return self._cache
+
+    @property
+    def last_published_epoch(self) -> Optional[int]:
+        """Epoch of the most recent :meth:`VersionedStore.publish` over this
+        facade (None before the first publish).  When it equals
+        :attr:`epoch`, publishing again is a no-op by construction."""
+        return self._last_published_epoch
+
+    def _note_published(self, epoch: int) -> None:
+        self._last_published_epoch = epoch
+
+    def snapshot(self) -> GraphSnapshot:
+        """Immutable snapshot of the current graph state.
+
+        Memoized per epoch and derived copy-on-write from the previous
+        snapshot, so repeated calls between mutations return the same object
+        and the freeze cost tracks the churn delta, not |V|+|E|.
+        """
+        return self._graph.snapshot()
 
     def index_for(self, family: str) -> HubIndex:
         """The (lazily built) hub index of one query family."""

@@ -29,10 +29,11 @@ weight breaks the repair's assumption that deletions never improve costs.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Tuple
+from typing import Dict, Iterable, List, Mapping, Optional, Tuple
 
 from repro.core.semiring import PathSemiring, ShortestDistance
 from repro.errors import IndexStateError
+from repro.graph.deltas import CostJournal
 from repro.utils.pqueue import IndexedHeap
 
 
@@ -57,7 +58,7 @@ class IncrementalBestPath:
     """
 
     __slots__ = ("_graph", "_source", "_semiring", "_forward", "_costs",
-                 "_dirty", "settled_last_op")
+                 "_dirty", "_journal", "settled_last_op")
 
     def __init__(
         self,
@@ -76,6 +77,9 @@ class IncrementalBestPath:
         self._forward = direction == "forward"
         self._costs: Dict[int, float] = {}
         self._dirty = False
+        # Change journal since the last drain (freeze); the initial rebuild
+        # marks it full, so the first freeze takes a complete copy.
+        self._journal = CostJournal()
         #: vertices touched by the most recent operation (maintenance-cost metric)
         self.settled_last_op = 0
         self.rebuild()
@@ -87,13 +91,17 @@ class IncrementalBestPath:
         source: int,
         semiring: PathSemiring,
         direction: str,
-        costs: Dict[int, float],
+        costs: Mapping,
+        copy: bool = True,
     ) -> "IncrementalBestPath":
         """Adopt a previously computed cost table without rebuilding.
 
         The caller asserts the table matches the graph (persistence restore
         path); a wrong table silently corrupts later queries, so load-time
-        verification is the persistence layer's job.
+        verification is the persistence layer's job.  With ``copy=False``
+        the mapping is adopted by reference — only valid for *frozen* trees
+        that will never be notified of updates (the publish path, where the
+        mapping is structurally shared across versions).
         """
         tree = cls.__new__(cls)
         if direction not in ("forward", "backward"):
@@ -104,8 +112,10 @@ class IncrementalBestPath:
         tree._source = source
         tree._semiring = semiring
         tree._forward = direction == "forward"
-        tree._costs = dict(costs)
+        tree._costs = dict(costs) if copy else costs
         tree._dirty = False
+        tree._journal = CostJournal()
+        tree._journal.mark_full()
         tree.settled_last_op = 0
         return tree
 
@@ -144,7 +154,7 @@ class IncrementalBestPath:
         self.ensure_fresh()
         return dict(self._costs)
 
-    def raw_cost_table(self) -> Dict[int, float]:
+    def raw_cost_table(self) -> Mapping:
         """The live cost table, *without* a freshness check.
 
         Only the hub index's bound evaluators use this, after calling
@@ -190,6 +200,7 @@ class IncrementalBestPath:
                     heap.push(u, sr.priority(cand))
         self._costs = costs
         self._dirty = False
+        self._journal.mark_full()
         self.settled_last_op = settled
 
     def adopt_table(self, costs: Dict[int, float]) -> None:
@@ -200,7 +211,28 @@ class IncrementalBestPath:
         """
         self._costs = costs
         self._dirty = False
+        self._journal.mark_full()
         self.settled_last_op = len(costs)
+
+    # -- change journal (drained by HubIndex.freeze) ---------------------------
+
+    @property
+    def journal_size(self) -> int:
+        """Distinct vertices journaled since the last drain (0 when full)."""
+        return len(self._journal)
+
+    def drain_changes(
+        self,
+    ) -> Tuple[bool, List[Tuple[int, Optional[float], Optional[float]]]]:
+        """Net ``(vertex, old_cost, new_cost)`` changes since the last drain.
+
+        Returns ``(full, changes)`` and resets the journal: ``full=True``
+        means per-vertex history was lost to a wholesale rebuild and the
+        caller must copy the entire table.  Forces any pending lazy rebuild
+        first, so the drained state matches what queries would observe.
+        """
+        self.ensure_fresh()
+        return self._journal.drain(self._costs)
 
     # -- incremental updates -------------------------------------------------------
 
@@ -236,6 +268,7 @@ class IncrementalBestPath:
         """Bounded Dijkstra from improvement seeds."""
         sr = self._semiring
         costs = self._costs
+        journal = self._journal
         heap = IndexedHeap()
         pending: Dict[int, float] = {}
         for vertex, cand in seeds:
@@ -249,6 +282,7 @@ class IncrementalBestPath:
             current = costs.get(v, sr.unreachable)
             if not sr.is_better(cand, current):
                 continue
+            journal.note(costs, v)
             costs[v] = cand
             settled += 1
             for u, w in self._succ(v):
@@ -328,7 +362,11 @@ class IncrementalBestPath:
         """Clear the affected region and re-run Dijkstra from its boundary."""
         sr = self._semiring
         costs = self._costs
+        journal = self._journal
         for a in affected:
+            # Journal the pre-repair cost; vertices re-settled below keep
+            # this first-seen old value (first-write-wins).
+            journal.note(costs, a)
             costs.pop(a, None)
         heap = IndexedHeap()
         pending: Dict[int, float] = {}

@@ -16,7 +16,7 @@ Responsibilities:
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Iterable, List, Optional, Protocol, Sequence
 
 from repro.graph.dynamic_graph import DynamicGraph

@@ -13,11 +13,11 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import Callable, Iterable, Iterator, List, Sequence, Tuple
+from typing import Callable, Iterable, List, Sequence, Tuple
 
 from repro.core.stats import StatsAggregate
 from repro.errors import WorkloadError
-from repro.streaming.update import EdgeUpdate, UpdateBatch, batched
+from repro.streaming.update import EdgeUpdate, batched
 
 
 @dataclass

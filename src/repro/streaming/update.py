@@ -11,7 +11,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 from enum import Enum
-from typing import Iterable, Iterator, List, Optional
+from typing import Iterable, Iterator, List
 
 from repro.errors import WorkloadError
 

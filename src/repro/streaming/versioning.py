@@ -3,14 +3,23 @@
 Real-time OLAP systems let analysts query a consistent recent version while
 ingestion races ahead.  :class:`VersionedStore` provides that on top of the
 facade: :meth:`VersionedStore.publish` captures the current epoch — an
-immutable graph snapshot plus a frozen copy of every hub-index cost table —
-and keeps a bounded ring of versions.  :meth:`VersionedStore.view_at`
-returns a :class:`FrozenView` whose queries run the same pruned engine
-against that frozen state, unaffected by later churn.
+immutable graph snapshot plus frozen hub-index cost tables — and keeps a
+bounded ring of versions.  :meth:`VersionedStore.view_at` returns a
+:class:`FrozenView` whose queries run the same pruned engine against that
+frozen state, unaffected by later churn.
 
-Publishing costs O(|V|·k) per indexed family (table copy); queries against a
-view cost the same as live queries.  This is the deterministic single-
-process stand-in for SGraph's snapshot-isolated concurrent reads.
+Publishing is *delta-proportional*: the graph snapshot is derived
+copy-on-write from the previous snapshot (unchanged vertices share their
+adjacency dicts; see :mod:`repro.graph.deltas`), and each frozen hub table
+is derived from the previous freeze's table plus the maintainer's change
+journal via :meth:`repro.core.hub_index.HubIndex.freeze`.  A publish after
+Δ updates therefore costs O(Δ · affected-region) plus O(k) bookkeeping —
+independent of |V| and |E| — and publishing an epoch that is already the
+last published one is a dictionary lookup.  Only the first publish (or one
+right after a wholesale index rebuild) pays the old O(|V|·k) full-copy
+cost.  Queries against a view cost the same as live queries.  This is the
+deterministic single-process stand-in for SGraph's epoch-published,
+snapshot-isolated concurrent reads.
 """
 
 from __future__ import annotations
@@ -101,6 +110,18 @@ class FrozenView:
                            target=target, value=1.0 if exists else 0.0,
                            stats=stats, epoch=self.epoch)
 
+    def within_distance(
+        self, source: int, target: int, budget: float
+    ) -> QueryResult:
+        """Whether the weighted distance at this epoch is ≤ ``budget``."""
+        engine = self._engine("distance")
+        start = time.perf_counter()
+        ok, stats = engine.within_budget(source, target, budget)
+        stats.elapsed = time.perf_counter() - start
+        return QueryResult(kind=QueryKind.REACHABILITY, source=source,
+                           target=target, value=1.0 if ok else 0.0,
+                           stats=stats, epoch=self.epoch)
+
 
 class VersionedStore:
     """Bounded ring of published epochs over one :class:`repro.SGraph`."""
@@ -127,37 +148,34 @@ class VersionedStore:
         """Capture the facade's current state as an immutable version.
 
         Evicts the oldest version beyond ``capacity``.  Publishing the same
-        epoch twice returns the existing view.
+        epoch twice returns the existing view; otherwise the cost is
+        proportional to the churn since the last publish (the snapshot and
+        every frozen table are derived from the previous version plus the
+        change journals — see the module docstring).
         """
         sg = self._sgraph
         epoch = sg.epoch
         existing = self._views.get(epoch)
         if existing is not None:
             return existing
-        snapshot = sg.graph.snapshot()
+        snapshot = sg.snapshot()  # memoized per epoch
         engines: Dict[str, PairwiseEngine] = {}
         for family in sg.config.queries:
             index = sg.index_for(family)
-            index.refresh()
-            fwd = {}
-            bwd = {}
-            for h in index.hubs:
-                fwd_tree = index.forward_tree(h)
-                fwd[h] = dict(fwd_tree.raw_cost_table())
-                bwd_tree = index.backward_tree(h)
-                if bwd_tree is not fwd_tree:
-                    bwd[h] = dict(bwd_tree.raw_cost_table())
+            fwd, bwd = index.freeze()
             view_graph = (UnitWeightView(snapshot) if family == "hops"
                           else snapshot)
             frozen_index = HubIndex.from_tables(
                 view_graph, index.hubs, index.semiring, fwd,
                 backward_tables=bwd if snapshot.directed else None,
+                copy=False,
             )
             engines[family] = PairwiseEngine(
                 view_graph, index=frozen_index, policy=sg.config.policy
             )
         view = FrozenView(snapshot, engines, label=label)
         self._views[epoch] = view
+        sg._note_published(epoch)
         while len(self._views) > self._capacity:
             self._views.popitem(last=False)
         return view

@@ -15,8 +15,7 @@ from hypothesis import strategies as st
 from repro.core.bounds import QueryBounds
 from repro.core.hub_index import HubIndex
 from repro.core.semiring import BOTTLENECK_CAPACITY
-from repro.graph.dynamic_graph import DynamicGraph
-from repro.graph.generators import erdos_renyi_graph, power_law_graph
+from repro.graph.generators import erdos_renyi_graph
 from tests.conftest import reference_dijkstra, reference_widest
 
 

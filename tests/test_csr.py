@@ -8,8 +8,7 @@ import numpy as np
 import pytest
 
 from repro.errors import VertexNotFoundError
-from repro.graph.csr import CSRGraph
-from repro.graph.generators import erdos_renyi_graph, power_law_graph
+from repro.graph.generators import erdos_renyi_graph
 from tests.conftest import reference_dijkstra
 
 

@@ -20,7 +20,6 @@ from repro.core.semiring import BOTTLENECK_CAPACITY, SHORTEST_DISTANCE
 from repro.errors import ConfigError, QueryError
 from repro.graph.generators import (
     erdos_renyi_graph,
-    grid_graph,
     power_law_graph,
 )
 from tests.conftest import reference_dijkstra, reference_widest

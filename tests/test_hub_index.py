@@ -7,9 +7,8 @@ import math
 import pytest
 
 from repro.core.hub_index import HubIndex
-from repro.core.semiring import BOTTLENECK_CAPACITY, SHORTEST_DISTANCE
+from repro.core.semiring import BOTTLENECK_CAPACITY
 from repro.errors import ConfigError, IndexStateError
-from repro.graph.dynamic_graph import DynamicGraph
 from tests.conftest import reference_dijkstra, reference_widest
 
 

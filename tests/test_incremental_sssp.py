@@ -20,7 +20,6 @@ from repro.errors import IndexStateError
 from repro.graph.dynamic_graph import DynamicGraph
 from repro.graph.generators import erdos_renyi_graph, power_law_graph
 from repro.streaming.incremental_sssp import IncrementalBestPath
-from tests.conftest import reference_dijkstra
 
 
 class TestConstruction:

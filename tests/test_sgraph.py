@@ -11,9 +11,7 @@ from hypothesis import strategies as st
 
 from repro.core.config import SGraphConfig
 from repro.core.pairwise import QueryKind
-from repro.core.pruning import PruningPolicy
 from repro.errors import ConfigError, QueryError
-from repro.graph.dynamic_graph import DynamicGraph
 from repro.graph.generators import erdos_renyi_graph
 from repro.sgraph import SGraph
 from repro.streaming.update import EdgeUpdate

@@ -5,7 +5,6 @@ from __future__ import annotations
 import pytest
 
 from repro.errors import EdgeNotFoundError, VertexNotFoundError
-from repro.graph.dynamic_graph import DynamicGraph
 
 
 class TestIsolation:
@@ -37,6 +36,27 @@ class TestIsolation:
         directed_diamond.remove_edge(0, 1)
         assert dict(snap.in_items(1)) == {0: 1.0}
         assert dict(snap.out_items(0)) == {1: 1.0, 2: 2.0}
+
+
+class TestMemoization:
+    def test_same_epoch_returns_same_object(self, triangle_graph):
+        assert triangle_graph.snapshot() is triangle_graph.snapshot()
+
+    def test_mutation_invalidates_memo(self, triangle_graph):
+        s1 = triangle_graph.snapshot()
+        triangle_graph.add_edge(2, 3, 1.0)
+        s2 = triangle_graph.snapshot()
+        assert s2 is not s1
+        assert s2.epoch > s1.epoch
+        assert triangle_graph.snapshot() is s2
+
+    def test_noop_mutation_keeps_epoch_and_memo(self, triangle_graph):
+        s1 = triangle_graph.snapshot()
+        # Same-weight re-add still advances the epoch at the graph layer,
+        # so the snapshot is re-derived but must stay content-identical.
+        triangle_graph.add_edge(0, 1, 1.0)
+        s2 = triangle_graph.snapshot()
+        assert sorted(s2.edge_list()) == sorted(s1.edge_list())
 
 
 class TestProtocol:
