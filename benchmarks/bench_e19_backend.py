@@ -1,0 +1,27 @@
+"""E19 — dict vs dense serving plane on the same frozen state.
+
+Claim reproduced (shape): routing the pruned bidirectional search through
+the dense plane — CSR adjacency, numpy hub rows, flat array search state —
+cuts the pairwise query median below the dict reference plane on both the
+R-MAT-style and the grid stand-in, while returning identical answers
+(the ``match`` column is asserted, not just reported).
+"""
+
+from benchmarks.conftest import run_rows
+from repro.bench.experiments import run_e19_backend
+
+
+def test_e19_backend_table(benchmark):
+    rows = run_rows(
+        benchmark, run_e19_backend, "E19 — dict vs dense serving plane",
+        num_pairs=24,
+    )
+    by_key = {(r["dataset"], r["backend"]): r for r in rows}
+    for dataset in ("social-pl", "road-grid"):
+        dense = by_key[(dataset, "dense")]
+        dict_ = by_key[(dataset, "dict")]
+        # Answer parity is non-negotiable; latency must strictly improve.
+        assert dense["match"] and dict_["match"]
+        assert dense["median_ms"] < dict_["median_ms"]
+        # Same algorithm, same pruning decisions — identical traversal work.
+        assert dense["act/query"] == dict_["act/query"]

@@ -1,4 +1,4 @@
-"""One function per reconstructed experiment (E1–E18).
+"""One function per reconstructed experiment (E1–E19).
 
 Each ``run_eN`` returns the table rows the corresponding paper table/figure
 would carry; the ``benchmarks/bench_eN_*.py`` modules execute them under
@@ -24,7 +24,7 @@ from repro.baselines.streaming_engine import ContinuousPairwiseEngine
 from repro.bench.harness import run_query_workload, time_callable
 from repro.bench.workloads import build_workload
 from repro.core.engine import PairwiseEngine
-from repro.core.hub_index import HubIndex
+from repro.core.hub_index import DensePlane, HubIndex
 from repro.core.pruning import PruningPolicy
 from repro.core.config import SGraphConfig
 from repro.graph.datasets import DATASETS, load_dataset, load_scaled
@@ -128,22 +128,50 @@ def _unwrap(result) -> Tuple[float, object]:
     return result.value, result.stats
 
 
+def _dense_engine_for(wl, policy: PruningPolicy) -> PairwiseEngine:
+    """A dense-plane-served engine over a workload's frozen state.
+
+    Mirrors what a published :class:`FrozenView` serves: freeze the live
+    hub index (a no-op after the first call), adopt the tables by reference
+    over the snapshot, and attach the CSR + numpy-table plane.
+    """
+    snapshot = wl.graph.snapshot()
+    index = wl.index
+    fwd, bwd = index.freeze()
+    frozen = HubIndex.from_tables(
+        snapshot, index.hubs, index.semiring, fwd,
+        backward_tables=bwd if snapshot.directed else None,
+        copy=False,
+    )
+    plane = DensePlane.build(snapshot, index.hubs, fwd, bwd)
+    return PairwiseEngine(snapshot, index=frozen, policy=policy, dense=plane)
+
+
 # ---------------------------------------------------------------------------
 # E3 — query latency vs baselines
 # ---------------------------------------------------------------------------
 
-def run_e3_latency(num_pairs: int = 24) -> List[Row]:
+def run_e3_latency(num_pairs: int = 24, backend: str = "auto") -> List[Row]:
     """Mean distance-query latency per engine; speedup relative to the
-    exhaustive recompute model (claim: several orders of magnitude)."""
+    exhaustive recompute model (claim: several orders of magnitude).
+
+    ``backend="dense"`` serves the two index-using engines from the dense
+    plane (flat-array search over CSR + numpy hub tables); ``"auto"`` and
+    ``"dict"`` keep the dict reference path this table historically showed.
+    """
     rows: List[Row] = []
     for dataset in CORE_DATASETS:
         wl = build_workload(dataset, num_pairs=num_pairs,
                             hub_strategy=_strategy_for(dataset))
         recompute = RecomputeEngine(wl.graph)
-        ub_engine = PairwiseEngine(wl.graph, index=wl.index,
-                                   policy=PruningPolicy.UPPER_ONLY)
-        sg_engine = PairwiseEngine(wl.graph, index=wl.index,
-                                   policy=PruningPolicy.UPPER_AND_LOWER)
+        if backend == "dense":
+            ub_engine = _dense_engine_for(wl, PruningPolicy.UPPER_ONLY)
+            sg_engine = _dense_engine_for(wl, PruningPolicy.UPPER_AND_LOWER)
+        else:
+            ub_engine = PairwiseEngine(wl.graph, index=wl.index,
+                                       policy=PruningPolicy.UPPER_ONLY)
+            sg_engine = PairwiseEngine(wl.graph, index=wl.index,
+                                       policy=PruningPolicy.UPPER_AND_LOWER)
         contenders: List[Tuple[str, Callable]] = [
             ("recompute", lambda s, t: _unwrap(recompute.distance(s, t))),
             ("dijkstra", lambda s, t: dijkstra_distance(wl.graph, s, t)),
@@ -760,6 +788,46 @@ def run_e18_publish(
 
 
 # ---------------------------------------------------------------------------
+# E19 (extension) — dict vs dense serving plane
+# ---------------------------------------------------------------------------
+
+def run_e19_backend(num_pairs: int = 32) -> List[Row]:
+    """Pairwise-query latency of the dict plane vs the dense plane.
+
+    Same frozen state, same pruned bidirectional algorithm, same answers
+    (the ``match`` column verifies value parity pair by pair) — the only
+    difference is the serving representation: dict-of-dict adjacency and
+    dict hub tables vs CSR arrays and numpy hub rows with flat search
+    state.  The dense rows should dominate on both the R-MAT-style and
+    grid stand-ins; ``benchmarks/bench_e19_backend.py`` asserts it.
+    """
+    rows: List[Row] = []
+    for dataset in ("social-pl", "road-grid"):
+        wl = build_workload(dataset, num_pairs=num_pairs,
+                            hub_strategy=_strategy_for(dataset))
+        dict_engine = PairwiseEngine(wl.graph, index=wl.index,
+                                     policy=PruningPolicy.UPPER_AND_LOWER)
+        dense_engine = _dense_engine_for(wl, PruningPolicy.UPPER_AND_LOWER)
+        match = all(
+            dict_engine.best_cost(s, t)[0] == dense_engine.best_cost(s, t)[0]
+            for s, t in wl.pairs
+        )
+        for label, engine in (("dict", dict_engine), ("dense", dense_engine)):
+            agg = run_query_workload(engine.best_cost, wl.pairs)
+            rows.append({
+                "dataset": dataset,
+                "backend": label,
+                "median_ms": _ms(agg.p(0.5)),
+                "mean_ms": _ms(agg.mean_elapsed),
+                "p99_ms": _ms(agg.p(0.99)),
+                "act/query": round(agg.mean_activations, 1),
+                "index-only%": _pct(agg.answered_by_index / agg.total),
+                "match": match,
+            })
+    return rows
+
+
+# ---------------------------------------------------------------------------
 
 ALL_EXPERIMENTS: Dict[str, Callable[[], List[Row]]] = {
     "E1 datasets": run_e1_datasets,
@@ -780,6 +848,7 @@ ALL_EXPERIMENTS: Dict[str, Callable[[], List[Row]]] = {
     "E16 reliability": run_e16_reliability,
     "E17 cache": run_e17_cache,
     "E18 publish latency": run_e18_publish,
+    "E19 backend": run_e19_backend,
 }
 
 

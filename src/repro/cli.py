@@ -47,6 +47,7 @@ def _cmd_query(args: argparse.Namespace) -> int:
             num_hubs=args.hubs,
             hub_strategy=args.strategy,
             queries=("distance", "hops", "capacity"),
+            backend=args.backend,
         ),
     )
     sg.rebuild_indexes()
@@ -121,15 +122,24 @@ def _cmd_replay(args: argparse.Namespace) -> int:
 
 
 def _cmd_experiment(args: argparse.Namespace) -> int:
+    import inspect
+
+    def run(fn):
+        # Pass --backend through to the experiments that understand it; the
+        # rest (update-path, memory, …) have no serving plane to choose.
+        if "backend" in inspect.signature(fn).parameters:
+            return fn(backend=args.backend)
+        return fn()
+
     key = args.id.lower()
     if key == "all":
         for title, fn in ALL_EXPERIMENTS.items():
-            print(format_table(fn(), title=f"== {title} =="))
+            print(format_table(run(fn), title=f"== {title} =="))
             print()
         return 0
     for title, fn in ALL_EXPERIMENTS.items():
         if title.lower().startswith(key + " "):
-            print(format_table(fn(), title=f"== {title} =="))
+            print(format_table(run(fn), title=f"== {title} =="))
             return 0
     print(f"unknown experiment {args.id!r}; known: "
           f"{', '.join(t.split()[0] for t in ALL_EXPERIMENTS)} or 'all'",
@@ -164,6 +174,9 @@ def build_parser() -> argparse.ArgumentParser:
                        choices=sorted(STRATEGIES))
     query.add_argument("--path", action="store_true",
                        help="also print the witness path (distance only)")
+    query.add_argument("--backend", default="auto",
+                       choices=["auto", "dense", "dict"],
+                       help="serving plane for distance/hops queries")
     query.set_defaults(fn=_cmd_query)
 
     tune = sub.add_parser("tune", help="auto-tune hub configuration")
@@ -190,7 +203,10 @@ def build_parser() -> argparse.ArgumentParser:
 
     experiment = sub.add_parser("experiment",
                                 help="regenerate an experiment table")
-    experiment.add_argument("id", help="e1..e18, or 'all'")
+    experiment.add_argument("id", help="e1..e19, or 'all'")
+    experiment.add_argument("--backend", default="auto",
+                            choices=["auto", "dense", "dict"],
+                            help="serving plane for backend-aware experiments")
     experiment.set_defaults(fn=_cmd_experiment)
 
     return parser

@@ -31,6 +31,7 @@ class QueryCache:
         self.hits = 0
         self.misses = 0
         self.stale = 0
+        self.stale_puts = 0
 
     @property
     def capacity(self) -> int:
@@ -58,6 +59,13 @@ class QueryCache:
         return value
 
     def put(self, key: Hashable, epoch: int, value: object) -> None:
+        entry = self._entries.get(key)
+        if entry is not None and entry[0] > epoch:
+            # A late writer (e.g. a slow query that straddled a mutation)
+            # must not clobber a fresher answer: overwriting would resurrect
+            # a stale value for the newer epoch's lookup window.
+            self.stale_puts += 1
+            return
         self._entries[key] = (epoch, value)
         self._entries.move_to_end(key)
         while len(self._entries) > self._capacity:
@@ -73,5 +81,6 @@ class QueryCache:
             "hits": self.hits,
             "misses": self.misses,
             "stale": self.stale,
+            "stale_puts": self.stale_puts,
             "hit%": round(100.0 * self.hits / total, 1) if total else 0.0,
         }

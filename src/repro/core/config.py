@@ -34,6 +34,17 @@ class SGraphConfig:
         When > 0, the facade keeps an epoch-guarded LRU of this many query
         answers (hot pairs re-asked between updates hit it; any mutation
         invalidates implicitly by advancing the epoch).  0 disables caching.
+    backend:
+        Which serving plane answers pairwise queries for the distance/hops
+        families.  ``"dict"`` traverses the live dict-of-dict adjacency and
+        probes dict hub tables everywhere (the differential-testing
+        reference).  ``"dense"`` additionally serves the live facade from
+        flat arrays over dense vertex ids (CSR adjacency + numpy hub
+        tables), rebuilt lazily per epoch at the first query after a
+        mutation.  ``"auto"`` (the default) serves published
+        :class:`~repro.streaming.versioning.FrozenView` versions dense —
+        where the plane is derived delta-proportionally across publishes —
+        while the mutating facade stays on the dict path.
     """
 
     num_hubs: int = 16
@@ -42,6 +53,7 @@ class SGraphConfig:
     queries: Tuple[str, ...] = ("distance",)
     seed: int = 0
     cache_size: int = 0
+    backend: str = "auto"
 
     def __post_init__(self) -> None:
         if self.num_hubs < 1:
@@ -60,3 +72,8 @@ class SGraphConfig:
             raise ConfigError("at least one query family must be indexed")
         if self.cache_size < 0:
             raise ConfigError("cache_size must be >= 0")
+        if self.backend not in ("auto", "dense", "dict"):
+            raise ConfigError(
+                f"unknown backend {self.backend!r}; "
+                "known: auto, dense, dict"
+            )

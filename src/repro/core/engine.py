@@ -20,10 +20,11 @@ the same code answers shortest-distance and bottleneck queries.
 
 from __future__ import annotations
 
-from typing import Dict, Optional, Sequence, Tuple
+import math
+from typing import Callable, Dict, Optional, Sequence, Tuple
 
-from repro.core.bounds import QueryBounds
-from repro.core.hub_index import HubIndex
+from repro.core.bounds import DenseQueryBounds, QueryBounds
+from repro.core.hub_index import DensePlane, HubIndex
 from repro.core.paths import hub_witness_path, stitch_bidirectional
 from repro.core.pruning import PruningPolicy
 from repro.core.semiring import SHORTEST_DISTANCE, PathSemiring, ShortestDistance
@@ -47,6 +48,16 @@ class PairwiseEngine:
         The pruning policy; accepts the enum or its string value.
     semiring:
         Cost algebra; defaults to the index's algebra when an index is given.
+    dense:
+        An optional :class:`DensePlane` (CSR adjacency + numpy hub tables)
+        over the same graph.  When present, :meth:`best_cost`,
+        :meth:`feasible` and :meth:`within_budget` run the flat-array search
+        path instead of the dict path; answers are identical, only faster.
+        Min-plus (distance/hops) algebra only.
+    dense_factory:
+        Zero-argument callable producing the :class:`DensePlane` on demand.
+        The publish path uses this to keep publishing O(Δ): the plane is
+        built (and cached) at the *first dense query*, not at construction.
     """
 
     def __init__(
@@ -55,6 +66,8 @@ class PairwiseEngine:
         index: Optional[HubIndex] = None,
         policy: "PruningPolicy | str" = PruningPolicy.UPPER_AND_LOWER,
         semiring: Optional[PathSemiring] = None,
+        dense: Optional[DensePlane] = None,
+        dense_factory: Optional[Callable[[], DensePlane]] = None,
     ) -> None:
         self._graph = graph
         self._policy = PruningPolicy.parse(policy)
@@ -77,6 +90,24 @@ class PairwiseEngine:
             self._semiring = index.semiring
         else:
             self._semiring = SHORTEST_DISTANCE
+        if dense is not None and dense_factory is not None:
+            raise ConfigError("pass dense or dense_factory, not both")
+        if (dense is not None or dense_factory is not None) and not isinstance(
+            self._semiring, ShortestDistance
+        ):
+            raise ConfigError(
+                "the dense serving plane only supports the distance algebra"
+            )
+        self._dense = dense
+        self._dense_factory = dense_factory
+
+    def _dense_ready(self) -> Optional[DensePlane]:
+        """The dense plane, forcing the lazy factory exactly once."""
+        if self._dense is None and self._dense_factory is not None:
+            factory = self._dense_factory
+            self._dense_factory = None
+            self._dense = factory()
+        return self._dense
 
     @property
     def policy(self) -> PruningPolicy:
@@ -89,6 +120,11 @@ class PairwiseEngine:
     @property
     def index(self) -> Optional[HubIndex]:
         return self._index
+
+    @property
+    def dense_plane(self) -> Optional[DensePlane]:
+        """The dense plane serving this engine (forces the lazy build)."""
+        return self._dense_ready()
 
     # -- public query surface ---------------------------------------------------
 
@@ -103,11 +139,18 @@ class PairwiseEngine:
         bound gap close earlier — often answering straight from the index —
         which trades a sliver of accuracy for another large latency factor.
         """
+        if self._dense_ready() is not None:
+            return self._search_dense(source, target, stop_at_feasible=False,
+                                      tolerance=tolerance)
         return self._search(source, target, stop_at_feasible=False,
                             tolerance=tolerance)
 
     def feasible(self, source: int, target: int) -> Tuple[bool, QueryStats]:
         """Whether any source→target path exists (reachability)."""
+        if self._dense_ready() is not None:
+            value, stats = self._search_dense(source, target,
+                                              stop_at_feasible=True)
+            return value != math.inf, stats
         value, stats = self._search(source, target, stop_at_feasible=True)
         return self._semiring.is_reachable(value), stats
 
@@ -131,9 +174,16 @@ class PairwiseEngine:
         if source == target:
             stats.answered_by_index = True
             return not sr.is_better(budget, sr.source_value), stats
+        plane = self._dense_ready()
         if self._policy.uses_index:
-            assert self._index is not None
-            bounds = QueryBounds(self._index, source, target)
+            if plane is not None:
+                csr = plane.csr
+                bounds = DenseQueryBounds(
+                    plane.tables, csr.dense_id(source), csr.dense_id(target)
+                )
+            else:
+                assert self._index is not None
+                bounds = QueryBounds(self._index, source, target)
             upper = bounds.upper_bound
             if upper != sr.unreachable and not sr.is_better(budget, upper):
                 # The witness already meets the budget.
@@ -145,8 +195,12 @@ class PairwiseEngine:
                     # Even the optimistic bound misses the budget.
                     stats.answered_by_index = True
                     return False, stats
-        value, search_stats = self._search(source, target,
-                                           stop_at_feasible=False)
+        if plane is not None:
+            value, search_stats = self._search_dense(source, target,
+                                                     stop_at_feasible=False)
+        else:
+            value, search_stats = self._search(source, target,
+                                               stop_at_feasible=False)
         stats.merge(search_stats)
         stats.answered_by_index = search_stats.answered_by_index
         return sr.is_reachable(value) and not sr.is_better(budget, value), stats
@@ -518,6 +572,182 @@ class PairwiseEngine:
                 if current is None or sr.is_better(candidate, current):
                     labels[u] = candidate
                     heap.push(u, sr.priority(candidate))
+                    stats.pushes += 1
+
+        return incumbent, stats
+
+    # -- the dense search ---------------------------------------------------------
+
+    def _search_dense(
+        self,
+        source: int,
+        target: int,
+        stop_at_feasible: bool,
+        tolerance: float = 0.0,
+    ) -> Tuple[float, QueryStats]:
+        """Flat-array mirror of :meth:`_search` over the dense plane.
+
+        Same decisions, same answers, same stats — but search state lives in
+        flat lists indexed by dense id (``g`` labels, settled bytemaps,
+        residual rows) and adjacency is walked through the CSR's cached list
+        views, eliminating the per-step dict hashing of the reference path.
+        Min-plus algebra only, which lets the semiring calls inline to
+        ``+`` / ``<`` / ``min``.
+        """
+        plane = self._dense
+        csr = plane.csr
+        graph = self._graph
+        stats = QueryStats()
+        if tolerance < 0:
+            raise ConfigError("tolerance must be non-negative")
+        scale = 1.0 + tolerance
+        for v in (source, target):
+            if not graph.has_vertex(v):
+                raise QueryError(f"query endpoint {v} is not in the graph")
+        if source == target:
+            stats.answered_by_index = True
+            return 0.0, stats
+
+        inf = math.inf
+        s = csr.dense_id(source)
+        t = csr.dense_id(target)
+        bounds: Optional[DenseQueryBounds] = None
+        incumbent = inf
+        if self._policy.uses_index:
+            bounds = DenseQueryBounds(plane.tables, s, t)
+            incumbent = bounds.upper_bound
+            if self._policy.uses_lower_bounds:
+                lower = bounds.lower_bound()
+                if lower == inf:
+                    # The index proves there is no path at all.
+                    stats.answered_by_index = True
+                    return inf, stats
+                if incumbent != inf and lower * scale >= incumbent:
+                    stats.answered_by_index = True
+                    return incumbent, stats
+            if stop_at_feasible and incumbent != inf:
+                # Any finite witness answers a reachability query.
+                stats.answered_by_index = True
+                return incumbent, stats
+
+        n = csr.num_vertices
+        g_f = [inf] * n
+        g_b = [inf] * n
+        g_f[s] = 0.0
+        g_b[t] = 0.0
+        settled_f = bytearray(n)
+        settled_b = bytearray(n)
+        heap_f = IndexedHeap()
+        heap_b = IndexedHeap()
+        heap_f.push(s, 0.0)
+        heap_b.push(t, 0.0)
+        indptr_f, indices_f, weights_f = csr.out_lists()
+        indptr_b, indices_b, weights_b = csr.in_lists()
+        use_ub = self._policy.uses_index
+        use_lb = self._policy.uses_lower_bounds
+        if use_lb:
+            # Per-hub rows as flat lists plus the four per-endpoint scalar
+            # columns the prune tests reference.  Probes short-circuit on
+            # the first deciding hub, exactly like the dict path — O(1) for
+            # the overwhelmingly common pruned vertex.
+            rows_f, rows_b = plane.tables.rows_as_lists()
+            hub_range = range(len(rows_f))
+            fwd_t = [row[t] for row in rows_f]   # d(h, t)
+            bwd_t = [row[t] for row in rows_b]   # d(t, h)
+            fwd_s = [row[s] for row in rows_f]   # d(h, s)
+            bwd_s = [row[s] for row in rows_b]   # d(s, h)
+        # With a tolerance, prune/terminate against incumbent/(1+tol): any
+        # path forgone then costs at least that much, so the returned
+        # incumbent is within the requested factor of the optimum.
+        threshold = incumbent if scale == 1.0 else incumbent / scale
+
+        while heap_f and heap_b:
+            if incumbent != inf:
+                key_f, _pf = heap_f.peek()
+                key_b, _pb = heap_b.peek()
+                if g_f[key_f] + g_b[key_b] >= threshold:
+                    break
+            forward = len(heap_f) <= len(heap_b)
+            if forward:
+                heap, g, g_other, settled = heap_f, g_f, g_b, settled_f
+                indptr, indices, weights = indptr_f, indices_f, weights_f
+            else:
+                heap, g, g_other, settled = heap_b, g_b, g_f, settled_b
+                indptr, indices, weights = indptr_b, indices_b, weights_b
+
+            v, _priority = heap.pop()
+            cost_v = g[v]
+            settled[v] = 1
+
+            # Meeting the other search's label yields a real s→t path.
+            other = g_other[v]
+            if other != inf:
+                candidate = cost_v + other
+                if candidate < incumbent:
+                    incumbent = candidate
+                    threshold = incumbent if scale == 1.0 else incumbent / scale
+                    if stop_at_feasible:
+                        break
+
+            if use_ub and incumbent != inf and not cost_v < threshold:
+                stats.pruned_by_upper_bound += 1
+                continue
+            if use_lb:
+                need = threshold - cost_v
+                if need <= 0:
+                    stats.pruned_by_lower_bound += 1
+                    continue
+                if need != need:  # nan: both sides infinite
+                    need = inf
+                # The dense-id transliteration of the dict path's
+                # QueryBounds._prunable_distance, per-hub short-circuit
+                # included: prune as soon as one hub's bound on the
+                # remaining distance reaches `need` (or proves the pair
+                # unreachable).
+                prunable = False
+                if forward:
+                    for j in hub_range:
+                        hv = rows_f[j][v]                  # d(h, v)
+                        if hv != inf:
+                            ht = fwd_t[j]                  # d(h, t)
+                            if ht == inf or ht - hv >= need:
+                                prunable = True
+                                break
+                        th = bwd_t[j]                      # d(t, h)
+                        if th != inf:
+                            vh = rows_b[j][v]              # d(v, h)
+                            if vh == inf or vh - th >= need:
+                                prunable = True
+                                break
+                else:
+                    # Bound on d(source, v): roles (source, v) as (v, t).
+                    for j in hub_range:
+                        hv = fwd_s[j]                      # d(h, s)
+                        if hv != inf:
+                            ht = rows_f[j][v]              # d(h, v)
+                            if ht == inf or ht - hv >= need:
+                                prunable = True
+                                break
+                        th = rows_b[j][v]                  # d(v, h)
+                        if th != inf:
+                            vh = bwd_s[j]                  # d(s, h)
+                            if vh == inf or vh - th >= need:
+                                prunable = True
+                                break
+                if prunable:
+                    stats.pruned_by_lower_bound += 1
+                    continue
+
+            stats.activations += 1
+            for k in range(indptr[v], indptr[v + 1]):
+                u = indices[k]
+                stats.relaxations += 1
+                if settled[u]:
+                    continue
+                candidate = cost_v + weights[k]
+                if candidate < g[u]:
+                    g[u] = candidate
+                    heap.push(u, candidate)
                     stats.pushes += 1
 
         return incumbent, stats

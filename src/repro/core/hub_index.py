@@ -17,13 +17,16 @@ proportional to the affected region instead of a full rebuild.
 
 from __future__ import annotations
 
+import math
 import sys
 from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
 
 from repro.core.hub_selection import select_hubs
 from repro.core.semiring import SHORTEST_DISTANCE, PathSemiring
 from repro.errors import ConfigError, IndexStateError
-from repro.graph.deltas import TOMBSTONE, derive_mapping
+from repro.graph.deltas import TOMBSTONE, LayeredMapping, derive_mapping
 from repro.streaming.incremental_sssp import IncrementalBestPath
 
 #: per-hub frozen cost tables, keyed by hub vertex
@@ -323,3 +326,328 @@ class HubIndex:
         # Keys and float values are shared small objects in CPython only
         # sometimes; charge 16 bytes per entry as a uniform estimate.
         return total + 16 * self.size_entries()
+
+
+# -- the dense serving plane -------------------------------------------------
+
+
+def _full_row(mapping: Mapping, dense: Dict[int, int], n: int) -> np.ndarray:
+    """Materialize one hub cost table as a dense float64 row (inf = absent)."""
+    row = np.full(n, math.inf, dtype=np.float64)
+    dget = dense.get
+    for v, c in mapping.items():
+        i = dget(v)
+        if i is not None:
+            row[i] = c
+    return row
+
+
+def _derive_row(
+    new_map: Mapping,
+    prev_map: Optional[Mapping],
+    prev_row: Optional[np.ndarray],
+    dense: Dict[int, int],
+) -> Optional[np.ndarray]:
+    """Derive a dense row from the previous epoch's row in O(overlay).
+
+    Works whenever both mappings are :class:`LayeredMapping` layers over the
+    *identical* base object (the invariant `derive_mapping` maintains until
+    it compacts): the two versions then differ in at most the union of their
+    overlay keys, so copying the previous row and re-reading just those keys
+    reproduces a full rebuild exactly.  Returns None when the precondition
+    does not hold and the caller must pay the O(|V|) `_full_row`.
+    """
+    if prev_map is None or prev_row is None:
+        return None
+    if new_map is prev_map:
+        return prev_row
+    if not isinstance(new_map, LayeredMapping):
+        return None
+    base = new_map.base
+    prev_base = prev_map.base if isinstance(prev_map, LayeredMapping) else prev_map
+    if prev_base is not base:
+        return None
+    keys = list(new_map.overlay_keys())
+    if isinstance(prev_map, LayeredMapping):
+        keys.extend(prev_map.overlay_keys())
+    if not keys:
+        return prev_row
+    row = prev_row.copy()
+    inf = math.inf
+    get = new_map.get
+    dget = dense.get
+    for v in keys:
+        i = dget(v)
+        if i is not None:
+            row[i] = get(v, inf)
+    return row
+
+
+class DenseHubTables:
+    """Frozen hub cost tables as numpy rows over dense vertex ids.
+
+    One float64 row of length ``|V|`` per hub and direction (``inf`` marks
+    unreachable), stored per hub so rows can be *shared by reference* across
+    epochs: :meth:`derive` copies an old row and patches only the overlay
+    keys when the underlying :class:`LayeredMapping` freeze chain allows it,
+    mirroring the O(Δ) dict-table publish.  Bound evaluation additionally
+    keeps lazily stacked ``(k, |V|)`` matrices so ``UB``/residual math is a
+    handful of vectorized ops instead of ``k`` dict probes.
+
+    Only meaningful for the min-plus (shortest distance / hops) algebra —
+    the residual formulas baked into the bound methods assume it.
+    """
+
+    __slots__ = (
+        "hubs",
+        "fwd_rows",
+        "bwd_rows",
+        "directed",
+        "_ids",
+        "_fwd_refs",
+        "_bwd_refs",
+        "_F",
+        "_B",
+        "_Fl",
+        "_Bl",
+    )
+
+    def __init__(
+        self,
+        hubs: List[int],
+        fwd_rows: List[np.ndarray],
+        bwd_rows: List[np.ndarray],
+        directed: bool,
+        ids: List[int],
+        fwd_refs: Dict[int, Mapping],
+        bwd_refs: Dict[int, Mapping],
+    ) -> None:
+        self.hubs = hubs
+        self.fwd_rows = fwd_rows
+        self.bwd_rows = bwd_rows
+        self.directed = directed
+        self._ids = ids
+        # The frozen mappings each row was materialized from — the baseline
+        # the next epoch's derive() diffs against.
+        self._fwd_refs = fwd_refs
+        self._bwd_refs = bwd_refs
+        self._F: Optional[np.ndarray] = None
+        self._B: Optional[np.ndarray] = None
+        self._Fl: Optional[List[list]] = None
+        self._Bl: Optional[List[list]] = None
+
+    @classmethod
+    def derive(
+        cls,
+        csr,
+        hubs: Sequence[int],
+        fwd_tables: Dict[int, Mapping],
+        bwd_tables: Dict[int, Mapping],
+        prev: Optional["DenseHubTables"] = None,
+    ) -> "DenseHubTables":
+        """Dense rows for one freeze, reusing ``prev``'s rows where possible.
+
+        ``fwd_tables``/``bwd_tables`` are :meth:`HubIndex.freeze` output
+        (``bwd_tables`` empty for undirected graphs, where backward aliases
+        forward).  ``prev`` must cover the identical id space (checked by
+        object identity on the CSR's ``ids`` list) and hub list to be
+        usable; otherwise every row is built fresh in O(|V|).
+        """
+        hubs = list(hubs)
+        dense = csr.dense_map
+        n = csr.num_vertices
+        directed = csr.directed
+        if directed and not bwd_tables:
+            raise IndexStateError("directed dense tables need backward tables")
+        compatible = (
+            prev is not None
+            and prev._ids is csr.ids
+            and prev.hubs == hubs
+            and prev.directed == directed
+        )
+        fwd_rows: List[np.ndarray] = []
+        for pos, h in enumerate(hubs):
+            mapping = fwd_tables[h]
+            row = None
+            if compatible:
+                row = _derive_row(
+                    mapping, prev._fwd_refs.get(h), prev.fwd_rows[pos], dense
+                )
+            if row is None:
+                row = _full_row(mapping, dense, n)
+            fwd_rows.append(row)
+        if not directed:
+            bwd_rows = fwd_rows
+            bwd_refs: Dict[int, Mapping] = {}
+        else:
+            bwd_rows = []
+            for pos, h in enumerate(hubs):
+                mapping = bwd_tables[h]
+                row = None
+                if compatible:
+                    row = _derive_row(
+                        mapping, prev._bwd_refs.get(h), prev.bwd_rows[pos], dense
+                    )
+                if row is None:
+                    row = _full_row(mapping, dense, n)
+                bwd_rows.append(row)
+            bwd_refs = dict(bwd_tables)
+        return cls(
+            hubs=hubs,
+            fwd_rows=fwd_rows,
+            bwd_rows=bwd_rows,
+            directed=directed,
+            ids=csr.ids,
+            fwd_refs=dict(fwd_tables),
+            bwd_refs=bwd_refs,
+        )
+
+    @property
+    def num_hubs(self) -> int:
+        return len(self.hubs)
+
+    @property
+    def num_vertices(self) -> int:
+        return len(self._ids)
+
+    def __repr__(self) -> str:
+        return (
+            f"DenseHubTables(k={self.num_hubs}, |V|={self.num_vertices}, "
+            f"directed={self.directed})"
+        )
+
+    def _stacked(self) -> Tuple[np.ndarray, np.ndarray]:
+        """Lazily stacked ``(k, |V|)`` forward/backward cost matrices.
+
+        ``F[j, v]`` = cost hub_j → v, ``B[j, v]`` = cost v → hub_j (dense
+        ids).  Stacking copies, so it runs once per tables object and only
+        when a query actually needs vectorized bounds.
+        """
+        if self._F is None:
+            self._F = np.vstack(self.fwd_rows)
+            if self.bwd_rows is self.fwd_rows:
+                self._B = self._F
+            else:
+                self._B = np.vstack(self.bwd_rows)
+        return self._F, self._B
+
+    def rows_as_lists(self) -> Tuple[List[list], List[list]]:
+        """Cached per-hub rows as plain Python lists, ``(forward, backward)``.
+
+        The search hot loop probes individual ``row[dense_id]`` entries with
+        short-circuit (most pruned vertices are decided by the first hub);
+        Python-list indexing beats numpy scalar indexing several-fold there.
+        Built once per tables object — O(k·|V|) amortized over every query
+        this freeze serves — then shared.  Backward aliases forward for
+        undirected tables.
+        """
+        if self._Fl is None:
+            self._Fl = [row.tolist() for row in self.fwd_rows]
+            if self.bwd_rows is self.fwd_rows:
+                self._Bl = self._Fl
+            else:
+                self._Bl = [row.tolist() for row in self.bwd_rows]
+        return self._Fl, self._Bl
+
+    # -- vectorized bound math (min-plus algebra) ----------------------------
+
+    def upper_bound(self, s: int, t: int) -> float:
+        """``min over hubs of d(s,h) + d(h,t)`` — dense ids in, cost out."""
+        F, B = self._stacked()
+        return float((B[:, s] + F[:, t]).min())
+
+    def residual_pair(self, s: int, t: int) -> float:
+        """Tightest per-hub lower bound on ``d(s, t)`` (dense ids)."""
+        F, B = self._stacked()
+        inf = math.inf
+        fs, ft = F[:, s], F[:, t]
+        bs, bt = B[:, s], B[:, t]
+        with np.errstate(invalid="ignore"):
+            from_hub = np.where(
+                fs == inf, 0.0, np.where(ft == inf, inf, np.maximum(ft - fs, 0.0))
+            )
+            to_hub = np.where(
+                bt == inf, 0.0, np.where(bs == inf, inf, np.maximum(bs - bt, 0.0))
+            )
+        return max(0.0, float(np.maximum(from_hub, to_hub).max()))
+
+    def residual_rows_to_target(self, t: int) -> np.ndarray:
+        """Row of lower bounds on ``d(v, t)`` for every dense id ``v``.
+
+        The vectorized twin of ``QueryBounds.residual_forward`` — one numpy
+        pass replaces ``|V| * k`` scalar dict probes.
+        """
+        F, B = self._stacked()
+        inf = math.inf
+        ft = F[:, t : t + 1]
+        bt = B[:, t : t + 1]
+        with np.errstate(invalid="ignore"):
+            from_hub = np.where(
+                F == inf, 0.0, np.where(ft == inf, inf, np.maximum(ft - F, 0.0))
+            )
+            to_hub = np.where(
+                bt == inf, 0.0, np.where(B == inf, inf, np.maximum(B - bt, 0.0))
+            )
+        res = np.maximum(from_hub.max(axis=0), to_hub.max(axis=0))
+        return np.maximum(res, 0.0)
+
+    def residual_rows_from_source(self, s: int) -> np.ndarray:
+        """Row of lower bounds on ``d(s, v)`` for every dense id ``v``."""
+        F, B = self._stacked()
+        inf = math.inf
+        fs = F[:, s : s + 1]
+        bs = B[:, s : s + 1]
+        with np.errstate(invalid="ignore"):
+            from_hub = np.where(
+                fs == inf, 0.0, np.where(F == inf, inf, np.maximum(F - fs, 0.0))
+            )
+            to_hub = np.where(
+                B == inf, 0.0, np.where(bs == inf, inf, np.maximum(bs - B, 0.0))
+            )
+        res = np.maximum(from_hub.max(axis=0), to_hub.max(axis=0))
+        return np.maximum(res, 0.0)
+
+
+class DensePlane:
+    """One epoch's complete dense serving state: CSR adjacency + hub rows.
+
+    Built lazily (the first query against a published view triggers it, not
+    the publish itself) and derived from the previous epoch's plane where
+    the id space and freeze chain allow — see :meth:`build`.
+    """
+
+    __slots__ = ("csr", "tables")
+
+    def __init__(self, csr, tables: DenseHubTables) -> None:
+        self.csr = csr
+        self.tables = tables
+
+    @classmethod
+    def build(
+        cls,
+        snapshot,
+        hubs: Sequence[int],
+        fwd_tables: Dict[int, Mapping],
+        bwd_tables: Dict[int, Mapping],
+        unit_weights: bool = False,
+        prev: Optional["DensePlane"] = None,
+    ) -> "DensePlane":
+        """Dense plane for one published freeze.
+
+        ``unit_weights=True`` serves the hop metric: the CSR is the shared
+        unit-weight variant of the snapshot's CSR (same id space, fresh
+        weight arrays).  ``prev`` chains planes across epochs so both the
+        CSR id mapping and the per-hub rows derive in O(Δ).
+        """
+        reuse = prev.csr if prev is not None else None
+        csr = snapshot.to_csr(reuse=reuse)
+        if unit_weights:
+            csr = csr.with_unit_weights()
+        prev_tables = prev.tables if prev is not None else None
+        tables = DenseHubTables.derive(
+            csr, hubs, fwd_tables, bwd_tables, prev=prev_tables
+        )
+        return cls(csr, tables)
+
+    def __repr__(self) -> str:
+        return f"DensePlane({self.csr!r}, {self.tables!r})"

@@ -5,11 +5,26 @@ those over ``dict``-of-``dict`` adjacency is noticeably slower than over
 flat numpy arrays.  :class:`CSRGraph` is a read-only array view of one
 snapshot with a dense internal vertex numbering plus the id mapping needed to
 translate back to caller-visible vertex ids.
+
+Beyond rebuilds, the CSR is the *traversal substrate of the dense serving
+plane*: the pruned bidirectional engine walks :meth:`out_lists` /
+:meth:`in_lists` (cached Python-list views of the arrays, the fastest
+per-element access pure Python offers), bound evaluation slices rows with
+:meth:`out_slice` / :meth:`in_slice`, and frozen hub tables are laid out
+over the same dense numbering.  Vertices with no out- (or in-) arcs —
+including fully isolated vertices — occupy an empty row, so every vertex of
+the snapshot is addressable.
+
+When the vertex set has not changed between epochs, :meth:`from_snapshot`
+can *reuse* the previous CSR's id mapping (pass ``prev=``): the new CSR then
+shares the identical ``ids`` list object, which downstream consumers (dense
+hub tables) use as an O(1) identity test for "same id space" — the hook that
+keeps dense-table derivation delta-proportional.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Iterator, List, Sequence, Tuple
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -41,6 +56,9 @@ class CSRGraph:
         "_dense",
         "directed",
         "epoch",
+        "_unit",
+        "_out_lists",
+        "_in_lists",
     )
 
     def __init__(
@@ -54,6 +72,7 @@ class CSRGraph:
         vertex_ids: Sequence[int],
         directed: bool,
         epoch: int,
+        dense_map: Optional[Dict[int, int]] = None,
     ) -> None:
         self.indptr = indptr
         self.indices = indices
@@ -61,17 +80,37 @@ class CSRGraph:
         self.rev_indptr = rev_indptr
         self.rev_indices = rev_indices
         self.rev_weights = rev_weights
-        self._ids = list(vertex_ids)
-        self._dense: Dict[int, int] = {v: i for i, v in enumerate(self._ids)}
+        # Adopt a list by reference so id-space identity survives (see
+        # module docstring); other sequences are copied.
+        self._ids = vertex_ids if isinstance(vertex_ids, list) else list(vertex_ids)
+        self._dense: Dict[int, int] = (
+            dense_map if dense_map is not None
+            else {v: i for i, v in enumerate(self._ids)}
+        )
         self.directed = directed
         self.epoch = epoch
+        self._unit: Optional["CSRGraph"] = None
+        self._out_lists: Optional[Tuple[list, list, list]] = None
+        self._in_lists: Optional[Tuple[list, list, list]] = None
 
     # -- construction ---------------------------------------------------------
 
     @classmethod
-    def from_snapshot(cls, snapshot: GraphSnapshot) -> "CSRGraph":
-        ids = sorted(snapshot.vertices())
-        dense = {v: i for i, v in enumerate(ids)}
+    def from_snapshot(
+        cls, snapshot: GraphSnapshot, prev: Optional["CSRGraph"] = None
+    ) -> "CSRGraph":
+        ids: Optional[List[int]] = None
+        dense: Optional[Dict[int, int]] = None
+        if prev is not None and prev.num_vertices == snapshot.num_vertices:
+            prev_ids = prev._ids
+            if all(v in snapshot for v in prev_ids):
+                # Same vertex set: share the id space by reference so
+                # ``same_id_space`` is an O(1) identity test downstream.
+                ids = prev_ids
+                dense = prev._dense
+        if ids is None:
+            ids = sorted(snapshot.vertices())
+            dense = {v: i for i, v in enumerate(ids)}
         n = len(ids)
 
         def build(items_of) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
@@ -109,7 +148,35 @@ class CSRGraph:
             vertex_ids=ids,
             directed=snapshot.directed,
             epoch=snapshot.epoch,
+            dense_map=dense,
         )
+
+    def with_unit_weights(self) -> "CSRGraph":
+        """A CSR over the same topology with every arc weight 1.0.
+
+        Shares the structure arrays and the id space with this CSR (only the
+        weight arrays are fresh), so the hop-metric serving plane costs O(E)
+        floats, not a rebuild.  Memoized.
+        """
+        if self._unit is None:
+            ones = np.ones_like(self.weights)
+            if self.directed:
+                rev_ones = np.ones_like(self.rev_weights)
+                unit = CSRGraph(
+                    self.indptr, self.indices, ones,
+                    self.rev_indptr, self.rev_indices, rev_ones,
+                    vertex_ids=self._ids, directed=True, epoch=self.epoch,
+                    dense_map=self._dense,
+                )
+            else:
+                unit = CSRGraph(
+                    self.indptr, self.indices, ones,
+                    self.indptr, self.indices, ones,
+                    vertex_ids=self._ids, directed=False, epoch=self.epoch,
+                    dense_map=self._dense,
+                )
+            self._unit = unit
+        return self._unit
 
     # -- identity ---------------------------------------------------------------
 
@@ -131,6 +198,30 @@ class CSRGraph:
 
     # -- id mapping ---------------------------------------------------------------
 
+    @property
+    def ids(self) -> List[int]:
+        """The shared dense→vertex id list.  Treat as immutable.
+
+        Exposed (rather than copied) so consumers can identity-compare id
+        spaces across epochs; see :meth:`same_id_space`.
+        """
+        return self._ids
+
+    @property
+    def dense_map(self) -> Dict[int, int]:
+        """The shared vertex→dense id dict.  Treat as immutable."""
+        return self._dense
+
+    def same_id_space(self, other: "CSRGraph") -> bool:
+        """O(1): True when both CSRs share the identical id mapping object.
+
+        Guaranteed after :meth:`from_snapshot` with ``prev=other`` found the
+        vertex set unchanged (and for :meth:`with_unit_weights` variants).
+        A False result does not prove the id spaces differ — only that they
+        are not known-shared and per-id translation must be used.
+        """
+        return self._ids is other._ids
+
     def dense_id(self, vertex: int) -> int:
         """Map a caller-visible vertex id to its dense CSR index."""
         try:
@@ -144,6 +235,15 @@ class CSRGraph:
 
     def vertex_ids(self) -> List[int]:
         return list(self._ids)
+
+    def to_dense(self, vertices: Iterable[int]) -> List[int]:
+        """Translate caller-visible vertex ids to dense ids, in order."""
+        return [self.dense_id(v) for v in vertices]
+
+    def to_ids(self, dense_ids: Iterable[int]) -> List[int]:
+        """Translate dense ids back to caller-visible vertex ids, in order."""
+        ids = self._ids
+        return [ids[d] for d in dense_ids]
 
     # -- traversal ---------------------------------------------------------------
 
@@ -159,6 +259,54 @@ class CSRGraph:
         for k in range(start, stop):
             yield int(self.rev_indices[k]), float(self.rev_weights[k])
 
+    def out_slice(self, dense: int) -> Tuple[np.ndarray, np.ndarray]:
+        """``(neighbors, weights)`` array views of one forward row.
+
+        Empty arrays for vertices with no out-arcs (isolated vertices
+        included) — never an error.
+        """
+        start, stop = self.indptr[dense], self.indptr[dense + 1]
+        return self.indices[start:stop], self.weights[start:stop]
+
+    def in_slice(self, dense: int) -> Tuple[np.ndarray, np.ndarray]:
+        """``(neighbors, weights)`` array views of one backward row."""
+        start, stop = self.rev_indptr[dense], self.rev_indptr[dense + 1]
+        return self.rev_indices[start:stop], self.rev_weights[start:stop]
+
+    def out_degree(self, dense: int) -> int:
+        return int(self.indptr[dense + 1] - self.indptr[dense])
+
+    def in_degree(self, dense: int) -> int:
+        return int(self.rev_indptr[dense + 1] - self.rev_indptr[dense])
+
+    def out_lists(self) -> Tuple[list, list, list]:
+        """``(indptr, indices, weights)`` as cached plain Python lists.
+
+        Per-element access on a Python list is several times faster than
+        numpy scalar indexing, which makes these the hot-loop view for the
+        dense search path.  Built once per CSR (O(V+E)), then shared.
+        """
+        if self._out_lists is None:
+            self._out_lists = (
+                self.indptr.tolist(),
+                self.indices.tolist(),
+                self.weights.tolist(),
+            )
+        return self._out_lists
+
+    def in_lists(self) -> Tuple[list, list, list]:
+        """Backward twin of :meth:`out_lists` (aliases it when undirected)."""
+        if self._in_lists is None:
+            if self.rev_indptr is self.indptr and self.rev_weights is self.weights:
+                self._in_lists = self.out_lists()
+            else:
+                self._in_lists = (
+                    self.rev_indptr.tolist(),
+                    self.rev_indices.tolist(),
+                    self.rev_weights.tolist(),
+                )
+        return self._in_lists
+
     def sssp(self, source: int, backward: bool = False) -> np.ndarray:
         """Dijkstra distances from ``source`` (a caller-visible id).
 
@@ -172,17 +320,16 @@ class CSRGraph:
         dist = np.full(n, np.inf, dtype=np.float64)
         src = self.dense_id(source)
         dist[src] = 0.0
-        indptr = self.rev_indptr if backward else self.indptr
-        indices = self.rev_indices if backward else self.indices
-        weights = self.rev_weights if backward else self.weights
+        indptr, indices, weights = (
+            self.in_lists() if backward else self.out_lists()
+        )
         heap: List[Tuple[float, int]] = [(0.0, src)]
         while heap:
             d, v = heapq.heappop(heap)
             if d > dist[v]:
                 continue
-            start, stop = indptr[v], indptr[v + 1]
-            for k in range(start, stop):
-                u = int(indices[k])
+            for k in range(indptr[v], indptr[v + 1]):
+                u = indices[k]
                 nd = d + weights[k]
                 if nd < dist[u]:
                     dist[u] = nd

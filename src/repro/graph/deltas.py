@@ -82,6 +82,17 @@ class LayeredMapping(Mapping):
         """Number of keys carried by the overlay (overrides + tombstones)."""
         return len(self._overrides) + len(self._deleted)
 
+    def overlay_keys(self) -> Iterator:
+        """Iterate over the keys the overlay touches (overrides + tombstones).
+
+        Two versions that share a ``base`` differ in at most the union of
+        their overlay keys — the fact the dense serving plane exploits to
+        derive a new per-hub cost row from the previous one in O(Δ) instead
+        of re-materializing all |V| entries.
+        """
+        yield from self._overrides
+        yield from self._deleted
+
     def __repr__(self) -> str:
         return (
             f"LayeredMapping(|base|={len(self._base)}, "

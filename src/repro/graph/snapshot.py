@@ -30,7 +30,7 @@ class GraphSnapshot:
     surface.
     """
 
-    __slots__ = ("_out", "_in", "_directed", "_num_edges", "_epoch")
+    __slots__ = ("_out", "_in", "_directed", "_num_edges", "_epoch", "_csr")
 
     def __init__(
         self,
@@ -47,6 +47,7 @@ class GraphSnapshot:
         self._directed = directed
         self._num_edges = num_edges
         self._epoch = epoch
+        self._csr: Optional["CSRGraph"] = None
 
     # -- identity -----------------------------------------------------------
 
@@ -142,8 +143,16 @@ class GraphSnapshot:
     def edge_list(self) -> List[Edge]:
         return list(self.edges())
 
-    def to_csr(self) -> "CSRGraph":
-        """Build a numpy CSR materialization of this snapshot."""
-        from repro.graph.csr import CSRGraph
+    def to_csr(self, reuse: Optional["CSRGraph"] = None) -> "CSRGraph":
+        """The numpy CSR materialization of this snapshot (memoized).
 
-        return CSRGraph.from_snapshot(self)
+        ``reuse`` optionally passes a previous epoch's CSR whose id mapping
+        is adopted when the vertex set is unchanged (see
+        :meth:`repro.graph.csr.CSRGraph.from_snapshot`); it only influences
+        the first call — later calls return the memoized instance.
+        """
+        if self._csr is None:
+            from repro.graph.csr import CSRGraph
+
+            self._csr = CSRGraph.from_snapshot(self, prev=reuse)
+        return self._csr

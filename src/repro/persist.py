@@ -98,6 +98,7 @@ def save_sgraph(sg: SGraph, directory: Union[str, Path]) -> None:
             "policy": cfg.policy.value,
             "queries": list(cfg.queries),
             "seed": cfg.seed,
+            "backend": cfg.backend,
         },
         "families": families,
     }
@@ -131,6 +132,8 @@ def load_sgraph(directory: Union[str, Path], verify: bool = False) -> SGraph:
         policy=PruningPolicy.parse(cfg_raw["policy"]),
         queries=tuple(cfg_raw["queries"]),
         seed=cfg_raw["seed"],
+        # Absent in saves made before the serving-plane split.
+        backend=cfg_raw.get("backend", "auto"),
     )
     sg = SGraph(graph=graph, config=config)
 

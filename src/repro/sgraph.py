@@ -30,7 +30,7 @@ from typing import Dict, Iterable, List, Optional, Tuple
 from repro.core.cache import QueryCache
 from repro.core.config import SGraphConfig
 from repro.core.engine import PairwiseEngine
-from repro.core.hub_index import HubIndex
+from repro.core.hub_index import DensePlane, HubIndex
 from repro.core.pairwise import QueryKind, QueryResult
 from repro.core.semiring import (
     BOTTLENECK_CAPACITY,
@@ -72,6 +72,11 @@ class SGraph:
         self._hubs: set = set()
         self._cache = (QueryCache(self._config.cache_size)
                        if self._config.cache_size > 0 else None)
+        # backend="dense" serving state: per-family (epoch, engine) pairs
+        # built at the first query after a mutation, plus the plane chain
+        # that lets each epoch's dense tables derive from the previous one.
+        self._dense_serving: Dict[str, Tuple[int, PairwiseEngine]] = {}
+        self._dense_planes: Dict[str, DensePlane] = {}
         self._last_published_epoch: Optional[int] = None
         #: vertices settled by index maintenance for the last update applied
         self.last_maintenance_settled = 0
@@ -202,6 +207,9 @@ class SGraph:
         self._hubs = set()
         for index in self._indexes.values():
             self._hubs.update(index.hubs)
+        # Dense engines froze the *old* tables; the plane chain stays (the
+        # CSR id space is still reusable) but serving engines must rebuild.
+        self._dense_serving = {}
 
     def adopt_indexes(self, indexes: Dict[str, HubIndex]) -> None:
         """Install externally constructed indexes (persistence restore path).
@@ -236,6 +244,7 @@ class SGraph:
         self._hubs = set()
         for index in self._indexes.values():
             self._hubs.update(index.hubs)
+        self._dense_serving = {}
 
     def _validate_probability_weights(self) -> None:
         for src, dst, weight in self._graph.edges():
@@ -403,7 +412,7 @@ class SGraph:
         """
         self._ensure_indexes()
         family = self._config.queries[0]
-        engine = self._engines[family]
+        engine = self._serving_engine(family)
         start = time.perf_counter()
         exists, stats = engine.feasible(source, target)
         stats.elapsed = time.perf_counter() - start
@@ -447,7 +456,7 @@ class SGraph:
                 f"budget queries on {family!r} need that family in "
                 f"SGraphConfig.queries (configured: {self._config.queries})"
             )
-        engine = self._engines[family]
+        engine = self._serving_engine(family)
         start = time.perf_counter()
         ok, stats = engine.within_budget(source, target, budget)
         stats.elapsed = time.perf_counter() - start
@@ -532,6 +541,54 @@ class SGraph:
                     heap.push(u, cand)
         return results
 
+    # -- dense serving (backend="dense") ------------------------------------------
+
+    def _serving_engine(self, family: str) -> PairwiseEngine:
+        """The engine answering value queries for ``family``.
+
+        With ``backend="dense"`` the min-plus families are served by a
+        per-epoch dense engine (flat arrays over the current snapshot);
+        everything else — and every family under the other backends — uses
+        the live dict engine.  Path and one-to-many queries always stay on
+        the dict engines, which this method is not used for.
+        """
+        if self._config.backend == "dense" and family in ("distance", "hops"):
+            return self._dense_engine(family)
+        return self._engines[family]
+
+    def _dense_engine(self, family: str) -> PairwiseEngine:
+        """Per-epoch dense-served engine for one min-plus family (memoized).
+
+        Built at the first query after a mutation: freeze the live index
+        (O(Δ) — derived from the previous freeze), snapshot the graph
+        (copy-on-write), and derive the dense plane from the previous
+        epoch's plane.  Queries between mutations reuse the cached engine.
+        """
+        entry = self._dense_serving.get(family)
+        if entry is not None and entry[0] == self.epoch:
+            return entry[1]
+        snapshot = self.snapshot()
+        index = self._indexes[family]
+        fwd, bwd = index.freeze()
+        view_graph = (UnitWeightView(snapshot) if family == "hops"
+                      else snapshot)
+        frozen = HubIndex.from_tables(
+            view_graph, index.hubs, index.semiring, fwd,
+            backward_tables=bwd if snapshot.directed else None,
+            copy=False,
+        )
+        plane = DensePlane.build(
+            snapshot, index.hubs, fwd, bwd,
+            unit_weights=(family == "hops"),
+            prev=self._dense_planes.get(family),
+        )
+        self._dense_planes[family] = plane
+        engine = PairwiseEngine(
+            view_graph, index=frozen, policy=self._config.policy, dense=plane
+        )
+        self._dense_serving[family] = (self.epoch, engine)
+        return engine
+
     def _run(
         self,
         kind: QueryKind,
@@ -552,7 +609,7 @@ class SGraph:
             cached = self._cache.get(cache_key, self.epoch)
             if cached is not None:
                 return cached  # type: ignore[return-value]
-        engine = self._engines[family]
+        engine = self._serving_engine(family)
         start = time.perf_counter()
         value, stats = engine.best_cost(source, target, tolerance=tolerance)
         stats.elapsed = time.perf_counter() - start

@@ -29,7 +29,7 @@ from collections import OrderedDict
 from typing import Dict, List, Optional
 
 from repro.core.engine import PairwiseEngine
-from repro.core.hub_index import HubIndex
+from repro.core.hub_index import DensePlane, HubIndex
 from repro.core.pairwise import QueryKind, QueryResult
 from repro.errors import ConfigError, SnapshotError
 from repro.graph.snapshot import GraphSnapshot
@@ -132,6 +132,10 @@ class VersionedStore:
         self._sgraph = sgraph
         self._capacity = capacity
         self._views: "OrderedDict[int, FrozenView]" = OrderedDict()
+        # Most recently *built* dense plane per family — the `prev` seed that
+        # lets the next epoch's plane derive its CSR id space and hub rows
+        # delta-proportionally instead of from scratch.
+        self._planes: Dict[str, DensePlane] = {}
 
     @property
     def capacity(self) -> int:
@@ -170,8 +174,18 @@ class VersionedStore:
                 backward_tables=bwd if snapshot.directed else None,
                 copy=False,
             )
+            # Dense serving for the min-plus families unless the config pins
+            # the dict reference path.  The factory defers the plane build
+            # to the first query against this view, so publish() itself
+            # stays O(Δ) — no CSR or array materialization here.
+            dense_factory = None
+            if sg.config.backend != "dict" and family in ("distance", "hops"):
+                dense_factory = self._make_plane_factory(
+                    family, snapshot, index.hubs, fwd, bwd
+                )
             engines[family] = PairwiseEngine(
-                view_graph, index=frozen_index, policy=sg.config.policy
+                view_graph, index=frozen_index, policy=sg.config.policy,
+                dense_factory=dense_factory,
             )
         view = FrozenView(snapshot, engines, label=label)
         self._views[epoch] = view
@@ -179,6 +193,27 @@ class VersionedStore:
         while len(self._views) > self._capacity:
             self._views.popitem(last=False)
         return view
+
+    def _make_plane_factory(self, family, snapshot, hubs, fwd, bwd):
+        """Lazy :class:`DensePlane` builder for one published family.
+
+        Chains off the last plane this store built for the family, whatever
+        epoch that was: derivation diffs the frozen mapping objects
+        symmetrically (union of both overlays), so it is order-independent
+        even when views are queried out of publish order or some freezes
+        were never queried at all.
+        """
+
+        def build() -> DensePlane:
+            plane = DensePlane.build(
+                snapshot, hubs, fwd, bwd,
+                unit_weights=(family == "hops"),
+                prev=self._planes.get(family),
+            )
+            self._planes[family] = plane
+            return plane
+
+        return build
 
     def view_at(self, epoch: int) -> FrozenView:
         """The view published at exactly ``epoch``."""

@@ -1,0 +1,268 @@
+"""Differential tests: dense serving plane vs the dict reference plane.
+
+The dense path is a transliteration of the same pruned bidirectional
+algorithm onto flat arrays, so it must be *bit-identical* to the dict
+reference — same values and the same stats-visible search work
+(activations, pushes, relaxations, per-kind prune counts, index answers) —
+for every pruning policy, under randomized graphs, churn, and query mixes.
+
+Weighted comparisons use continuous random weights: distinct path costs
+make heap ordering tie-free, so traversal statistics are deterministic and
+comparable.  The hop metric (unit weights, massive ties) compares values
+only.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+
+import numpy as np
+import pytest
+
+from repro.core.config import SGraphConfig
+from repro.core.hub_index import DensePlane
+from repro.core.pruning import PruningPolicy
+from repro.graph.dynamic_graph import DynamicGraph
+from repro.sgraph import SGraph
+from repro.streaming.versioning import VersionedStore
+
+POLICIES = [
+    PruningPolicy.NONE,
+    PruningPolicy.UPPER_ONLY,
+    PruningPolicy.UPPER_AND_LOWER,
+]
+
+
+def _random_graph(rng: random.Random, n: int, m: int,
+                  directed: bool) -> DynamicGraph:
+    """Random graph with continuous (tie-free) weights and a few isolated
+    vertices, so the dense plane's empty CSR rows are exercised too."""
+    g = DynamicGraph(directed=directed)
+    for v in range(n):
+        g.add_vertex(v)
+    added = 0
+    while added < m:
+        u, v = rng.randrange(n - 3), rng.randrange(n - 3)
+        if u == v or g.has_edge(u, v):
+            continue
+        g.add_edge(u, v, rng.uniform(0.5, 3.0))
+        added += 1
+    return g
+
+
+def _twin_sgraphs(rng: random.Random, policy: PruningPolicy, directed: bool,
+                  queries=("distance",)):
+    """The same graph served twice: dict reference vs dense plane."""
+    seed = rng.randrange(1 << 30)
+    pair = []
+    for backend in ("dict", "dense"):
+        g = _random_graph(random.Random(seed), 80, 240, directed)
+        pair.append(SGraph(graph=g, config=SGraphConfig(
+            num_hubs=6, policy=policy, queries=queries, backend=backend,
+        )))
+    return pair
+
+
+def _stats_tuple(stats):
+    return (
+        stats.activations,
+        stats.pushes,
+        stats.relaxations,
+        stats.pruned_by_upper_bound,
+        stats.pruned_by_lower_bound,
+        stats.answered_by_index,
+    )
+
+
+def _churn(rng: random.Random, sgraphs, rounds: int) -> None:
+    """Apply one identical batch of mutations to every facade."""
+    verts = sorted(sgraphs[0].graph.vertices())
+    for _ in range(rounds):
+        u, v = rng.sample(verts, 2)
+        if sgraphs[0].graph.has_edge(u, v) and rng.random() < 0.5:
+            for sg in sgraphs:
+                sg.remove_edge(u, v)
+        else:
+            w = rng.uniform(0.5, 3.0)
+            for sg in sgraphs:
+                sg.add_edge(u, v, w)
+
+
+class TestFacadeParity:
+    """SGraph(backend="dense") vs SGraph(backend="dict"), live queries."""
+
+    @pytest.mark.parametrize("policy", POLICIES)
+    @pytest.mark.parametrize("directed", [False, True])
+    def test_distance_bit_identical(self, policy, directed):
+        rng = random.Random(1000 + 10 * directed + POLICIES.index(policy))
+        sg_dict, sg_dense = _twin_sgraphs(rng, policy, directed)
+        verts = sorted(sg_dict.graph.vertices())
+        for epoch_round in range(3):
+            for _ in range(25):
+                s, t = rng.sample(verts, 2)
+                a = sg_dict.distance(s, t)
+                b = sg_dense.distance(s, t)
+                assert b.value == a.value  # exact, not approx
+                assert _stats_tuple(b.stats) == _stats_tuple(a.stats)
+            _churn(rng, (sg_dict, sg_dense), rounds=6)
+
+    def test_tolerance_queries_bit_identical(self):
+        rng = random.Random(7)
+        sg_dict, sg_dense = _twin_sgraphs(
+            rng, PruningPolicy.UPPER_AND_LOWER, directed=False
+        )
+        verts = sorted(sg_dict.graph.vertices())
+        for tol in (0.0, 0.5, 2.0, math.inf):
+            for _ in range(10):
+                s, t = rng.sample(verts, 2)
+                a = sg_dict.distance(s, t, tolerance=tol)
+                b = sg_dense.distance(s, t, tolerance=tol)
+                assert b.value == a.value
+                assert _stats_tuple(b.stats) == _stats_tuple(a.stats)
+
+    def test_reachable_and_within_distance_match(self):
+        rng = random.Random(8)
+        sg_dict, sg_dense = _twin_sgraphs(
+            rng, PruningPolicy.UPPER_AND_LOWER, directed=True
+        )
+        verts = sorted(sg_dict.graph.vertices())
+        for _ in range(20):
+            s, t = rng.sample(verts, 2)
+            assert (sg_dense.reachable(s, t).value
+                    == sg_dict.reachable(s, t).value)
+            for budget in (1.0, 5.0, 20.0):
+                a = sg_dict.within_distance(s, t, budget)
+                b = sg_dense.within_distance(s, t, budget)
+                assert b.value == a.value
+
+    def test_hops_values_match(self):
+        # Unit weights are tie-heavy, so only values are comparable.
+        rng = random.Random(9)
+        sg_dict, sg_dense = _twin_sgraphs(
+            rng, PruningPolicy.UPPER_AND_LOWER, directed=False,
+            queries=("distance", "hops"),
+        )
+        verts = sorted(sg_dict.graph.vertices())
+        for _ in range(2):
+            for _ in range(20):
+                s, t = rng.sample(verts, 2)
+                assert (sg_dense.hop_distance(s, t).value
+                        == sg_dict.hop_distance(s, t).value)
+            _churn(rng, (sg_dict, sg_dense), rounds=5)
+
+    def test_isolated_endpoints_unreachable_on_both(self):
+        rng = random.Random(10)
+        sg_dict, sg_dense = _twin_sgraphs(
+            rng, PruningPolicy.UPPER_AND_LOWER, directed=True
+        )
+        verts = sorted(sg_dict.graph.vertices())
+        isolated = verts[-1]  # _random_graph never wires the last 3 vertices
+        a = sg_dict.distance(verts[0], isolated)
+        b = sg_dense.distance(verts[0], isolated)
+        assert a.value == b.value == math.inf
+        assert _stats_tuple(b.stats) == _stats_tuple(a.stats)
+
+
+class TestFrozenViewParity:
+    """Published views (backend auto → dense) vs the dict reference."""
+
+    @pytest.mark.parametrize("policy", POLICIES)
+    def test_views_bit_identical_across_publishes(self, policy):
+        rng = random.Random(20 + POLICIES.index(policy))
+        sg_auto, sg_dict = [], []
+        for backend in ("auto", "dict"):
+            g = _random_graph(random.Random(99), 70, 200, directed=True)
+            sg = SGraph(graph=g, config=SGraphConfig(
+                num_hubs=5, policy=policy, queries=("distance",),
+                backend=backend,
+            ))
+            (sg_auto if backend == "auto" else sg_dict).append(sg)
+        sg_auto, sg_dict = sg_auto[0], sg_dict[0]
+        store_auto = VersionedStore(sg_auto, capacity=4)
+        store_dict = VersionedStore(sg_dict, capacity=4)
+        verts = sorted(sg_auto.graph.vertices())
+        for _publish_round in range(3):
+            va = store_auto.publish()
+            vd = store_dict.publish()
+            assert va.epoch == vd.epoch
+            for _ in range(15):
+                s, t = rng.sample(verts, 2)
+                a = vd.distance(s, t)
+                b = va.distance(s, t)
+                assert b.value == a.value
+                assert _stats_tuple(b.stats) == _stats_tuple(a.stats)
+                assert (va.within_distance(s, t, 6.0).value
+                        == vd.within_distance(s, t, 6.0).value)
+            _churn(rng, (sg_auto, sg_dict), rounds=8)
+
+    def test_old_view_unaffected_by_later_churn(self):
+        rng = random.Random(31)
+        g = _random_graph(rng, 60, 180, directed=False)
+        sg = SGraph(graph=g, config=SGraphConfig(
+            num_hubs=4, queries=("distance",), backend="auto",
+        ))
+        store = VersionedStore(sg, capacity=4)
+        view = store.publish()
+        verts = sorted(sg.graph.vertices())
+        pairs = [tuple(rng.sample(verts, 2)) for _ in range(10)]
+        before = {p: view.distance(*p).value for p in pairs}
+        _churn(rng, (sg,), rounds=20)
+        for p in pairs:
+            assert view.distance(*p).value == before[p]
+
+
+class TestDerivedRowsMatchRebuild:
+    """O(Δ) dense-table derivation must equal a from-scratch build."""
+
+    def test_derived_plane_equals_fresh_plane(self):
+        rng = random.Random(40)
+        g = _random_graph(rng, 60, 180, directed=True)
+        sg = SGraph(graph=g, config=SGraphConfig(
+            num_hubs=5, queries=("distance",), backend="auto",
+        ))
+        store = VersionedStore(sg, capacity=4)
+        verts = sorted(sg.graph.vertices())
+        view = store.publish()
+        view.distance(verts[0], verts[1])  # force the epoch-0 plane build
+        for _round in range(3):
+            _churn(rng, (sg,), rounds=10)
+            view = store.publish()
+            view.distance(verts[0], verts[1])  # derived from the prev plane
+            derived = store._planes["distance"]
+            index = sg.index_for("distance")
+            fwd, bwd = index.freeze()
+            fresh = DensePlane.build(view.snapshot, index.hubs, fwd, bwd)
+            assert derived.tables.hubs == fresh.tables.hubs
+            for pos in range(len(fresh.tables.hubs)):
+                assert np.array_equal(
+                    derived.tables.fwd_rows[pos], fresh.tables.fwd_rows[pos]
+                )
+                assert np.array_equal(
+                    derived.tables.bwd_rows[pos], fresh.tables.bwd_rows[pos]
+                )
+
+    def test_skipped_publish_still_derives_correctly(self):
+        # The store derives from the last *queried* plane, whatever epoch it
+        # came from — churn twice between queries to force a 2-epoch diff.
+        rng = random.Random(41)
+        g = _random_graph(rng, 50, 150, directed=False)
+        sg = SGraph(graph=g, config=SGraphConfig(
+            num_hubs=4, queries=("distance",), backend="auto",
+        ))
+        store = VersionedStore(sg, capacity=4)
+        verts = sorted(sg.graph.vertices())
+        store.publish().distance(verts[0], verts[1])
+        _churn(rng, (sg,), rounds=8)
+        store.publish()  # published but never queried: no plane built
+        _churn(rng, (sg,), rounds=8)
+        view = store.publish()
+        view.distance(verts[0], verts[1])
+        derived = store._planes["distance"]
+        index = sg.index_for("distance")
+        fwd, bwd = index.freeze()
+        fresh = DensePlane.build(view.snapshot, index.hubs, fwd, bwd)
+        for pos in range(len(fresh.tables.hubs)):
+            assert np.array_equal(
+                derived.tables.fwd_rows[pos], fresh.tables.fwd_rows[pos]
+            )

@@ -51,6 +51,33 @@ class TestQueryCache:
         assert row["misses"] == 1
         assert row["hit%"] == 50.0
 
+    def test_stale_put_rejected(self):
+        cache = QueryCache(4)
+        cache.put("k", epoch=5, value="new")
+        cache.put("k", epoch=3, value="old")  # out-of-order writer loses
+        assert cache.get("k", epoch=5) == "new"
+        assert cache.stale_puts == 1
+
+    def test_same_epoch_put_overwrites(self):
+        cache = QueryCache(4)
+        cache.put("k", epoch=5, value="first")
+        cache.put("k", epoch=5, value="second")
+        assert cache.get("k", epoch=5) == "second"
+        assert cache.stale_puts == 0
+
+    def test_newer_epoch_put_overwrites(self):
+        cache = QueryCache(4)
+        cache.put("k", epoch=3, value="old")
+        cache.put("k", epoch=5, value="new")
+        assert cache.get("k", epoch=5) == "new"
+        assert cache.stale_puts == 0
+
+    def test_stale_puts_in_stats_row(self):
+        cache = QueryCache(4)
+        cache.put("k", epoch=5, value="new")
+        cache.put("k", epoch=4, value="old")
+        assert cache.stats_row()["stale_puts"] == 1
+
     def test_clear(self):
         cache = QueryCache(2)
         cache.put("a", 1, 1)

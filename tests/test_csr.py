@@ -60,6 +60,96 @@ class TestConstruction:
             assert np.all(np.diff(row) >= 0)
 
 
+class TestEdgeCases:
+    def test_directed_isolated_vertex(self):
+        from repro.graph.dynamic_graph import DynamicGraph
+
+        g = DynamicGraph(directed=True)
+        g.add_edge(0, 1, 1.0)
+        g.add_vertex(7)  # no arcs at all
+        csr = g.snapshot().to_csr()
+        d7 = csr.dense_id(7)
+        assert csr.out_degree(d7) == 0
+        assert csr.in_degree(d7) == 0
+        assert list(csr.out_arcs(d7)) == []
+        assert list(csr.in_arcs(d7)) == []
+        nbrs, wts = csr.out_slice(d7)
+        assert nbrs.size == 0 and wts.size == 0
+        # Still fully addressable and reachable-from-itself only.
+        dist = csr.sssp(7)
+        assert dist[d7] == 0.0
+        assert dist[csr.dense_id(0)] == math.inf
+
+    def test_directed_sink_and_source_vertices(self):
+        from repro.graph.dynamic_graph import DynamicGraph
+
+        g = DynamicGraph(directed=True)
+        g.add_edge(0, 1, 1.0)
+        g.add_edge(1, 2, 2.0)
+        csr = g.snapshot().to_csr()
+        # 2 is a sink: in-arcs only.  0 is a source: out-arcs only.
+        assert csr.out_degree(csr.dense_id(2)) == 0
+        assert csr.in_degree(csr.dense_id(2)) == 1
+        assert csr.out_degree(csr.dense_id(0)) == 1
+        assert csr.in_degree(csr.dense_id(0)) == 0
+        assert csr.sssp(2)[csr.dense_id(0)] == math.inf
+        assert csr.sssp(2, backward=True)[csr.dense_id(0)] == 3.0
+
+    def test_round_trip_after_churn(self):
+        g = erdos_renyi_graph(50, 150, seed=5, directed=True,
+                              weight_range=(1.0, 3.0))
+        csr0 = g.snapshot().to_csr()
+        # Churn edges only: the vertex set is unchanged, so the rebuilt CSR
+        # may adopt the previous id space by reference.
+        edges = list(g.edges())
+        for s, d, _w in edges[:10]:
+            g.remove_edge(s, d)
+        g.add_edge(0, 49, 9.0)
+        csr1 = g.snapshot().to_csr(reuse=csr0)
+        assert csr1.same_id_space(csr0)
+        for v in g.vertices():
+            assert csr1.vertex_id(csr1.dense_id(v)) == v
+        assert csr1.to_ids(csr1.to_dense(sorted(g.vertices()))) == sorted(
+            g.vertices()
+        )
+        # Arc content reflects the churned snapshot, not the old one.
+        assert dict(csr1.out_arcs(csr1.dense_id(0)))[csr1.dense_id(49)] == 9.0
+
+    def test_vertex_churn_breaks_id_space_reuse(self):
+        g = erdos_renyi_graph(30, 90, seed=6, weight_range=(1.0, 3.0))
+        csr0 = g.snapshot().to_csr()
+        g.add_edge(999, 0, 1.0)  # new vertex: dense numbering must change
+        csr1 = g.snapshot().to_csr(reuse=csr0)
+        assert not csr1.same_id_space(csr0)
+        assert csr1.num_vertices == csr0.num_vertices + 1
+        assert csr1.vertex_id(csr1.dense_id(999)) == 999
+        with pytest.raises(VertexNotFoundError):
+            csr0.dense_id(999)
+
+    def test_unit_weights_share_id_space_and_structure(self, small_powerlaw):
+        csr = small_powerlaw.snapshot().to_csr()
+        unit = csr.with_unit_weights()
+        assert unit.same_id_space(csr)
+        assert unit.indptr is csr.indptr
+        assert unit.indices is csr.indices
+        assert np.all(unit.weights == 1.0)
+        assert csr.with_unit_weights() is unit  # memoized
+
+    def test_empty_rows_well_formed_lists(self):
+        from repro.graph.dynamic_graph import DynamicGraph
+
+        g = DynamicGraph(directed=True)
+        for v in range(4):
+            g.add_vertex(v)
+        g.add_edge(1, 2, 1.0)
+        csr = g.snapshot().to_csr()
+        indptr, indices, weights = csr.out_lists()
+        assert len(indptr) == csr.num_vertices + 1
+        assert indptr[-1] == len(indices) == len(weights) == 1
+        for v in range(csr.num_vertices):
+            assert indptr[v] <= indptr[v + 1]
+
+
 class TestSSSP:
     def test_matches_reference_undirected(self, small_powerlaw):
         csr = small_powerlaw.snapshot().to_csr()
