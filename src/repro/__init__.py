@@ -18,7 +18,12 @@ Public API highlights:
 """
 
 from repro.core.config import SGraphConfig
-from repro.core.pairwise import PairwiseQuery, QueryKind, QueryResult
+from repro.core.pairwise import (
+    ManyQueryResult,
+    PairwiseQuery,
+    QueryKind,
+    QueryResult,
+)
 from repro.core.pruning import PruningPolicy
 from repro.core.stats import QueryStats
 from repro.core.tuning import auto_tune
@@ -38,6 +43,7 @@ __all__ = [
     "PairwiseQuery",
     "QueryKind",
     "QueryResult",
+    "ManyQueryResult",
     "QueryStats",
     "DynamicGraph",
     "EdgeUpdate",

@@ -1,4 +1,4 @@
-"""One function per reconstructed experiment (E1–E19).
+"""One function per reconstructed experiment (E1–E20).
 
 Each ``run_eN`` returns the table rows the corresponding paper table/figure
 would carry; the ``benchmarks/bench_eN_*.py`` modules execute them under
@@ -828,6 +828,68 @@ def run_e19_backend(num_pairs: int = 32) -> List[Row]:
 
 
 # ---------------------------------------------------------------------------
+# E20 (extension) — batched one-to-many: dict vs dense serving plane
+# ---------------------------------------------------------------------------
+
+def run_e20_many_backend(
+    target_counts: Sequence[int] = (4, 16, 64),
+    repeats: int = 5,
+) -> List[Row]:
+    """One-to-many latency of the dict plane vs the dense plane.
+
+    The E14 workload (one source, growing target set, shared pruned
+    search) replayed on both serving representations of the same frozen
+    state.  The dense path reuses one flat ``g`` array across the batch
+    and vectorizes the per-target bound rows; it is a transliteration of
+    the dict reference, so the ``match`` column checks value parity and
+    ``act=`` checks that both planes activate exactly the same number of
+    vertices — any dense win is pure representation, not extra pruning.
+    The gap should widen with the target count (the per-target bound rows
+    amortize one numpy pass each, while the dict path probes hub dicts
+    per remaining target on every pop); ``benchmarks/
+    bench_e20_many_backend.py`` asserts dense wins from 16 targets up.
+    """
+    rows: List[Row] = []
+    for dataset in ("social-pl", "road-grid"):
+        wl = build_workload(dataset, num_pairs=80,
+                            hub_strategy=_strategy_for(dataset))
+        dict_engine = PairwiseEngine(wl.graph, index=wl.index,
+                                     policy=PruningPolicy.UPPER_AND_LOWER)
+        dense_engine = _dense_engine_for(wl, PruningPolicy.UPPER_AND_LOWER)
+        source = wl.pairs[0][0]
+        all_targets = [t for _s, t in wl.pairs]
+        for count in target_counts:
+            targets = all_targets[:count]
+            per_backend = {}
+            for label, engine in (("dict", dict_engine),
+                                  ("dense", dense_engine)):
+                timings = []
+                for _ in range(repeats):
+                    start = time.perf_counter()
+                    values, stats = engine.one_to_many(source, targets)
+                    timings.append(time.perf_counter() - start)
+                timings.sort()
+                per_backend[label] = (values, stats,
+                                      timings[len(timings) // 2])
+            d_values, d_stats, d_median = per_backend["dict"]
+            n_values, n_stats, n_median = per_backend["dense"]
+            match = d_values == n_values
+            for label in ("dict", "dense"):
+                values, stats, median = per_backend[label]
+                rows.append({
+                    "dataset": dataset,
+                    "targets": count,
+                    "backend": label,
+                    "median_ms": _ms(median),
+                    "activations": stats.activations,
+                    "act=": d_stats.activations == n_stats.activations,
+                    "index-only": stats.answered_by_index,
+                    "match": match,
+                })
+    return rows
+
+
+# ---------------------------------------------------------------------------
 
 ALL_EXPERIMENTS: Dict[str, Callable[[], List[Row]]] = {
     "E1 datasets": run_e1_datasets,
@@ -849,6 +911,7 @@ ALL_EXPERIMENTS: Dict[str, Callable[[], List[Row]]] = {
     "E17 cache": run_e17_cache,
     "E18 publish latency": run_e18_publish,
     "E19 backend": run_e19_backend,
+    "E20 many backend": run_e20_many_backend,
 }
 
 

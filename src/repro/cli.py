@@ -5,6 +5,7 @@ Usage (also available as ``python -m repro.cli``)::
     repro datasets                      # the E1 dataset table
     repro profile social-pl             # profile one dataset proxy
     repro query social-pl 3 1542        # run one pairwise query
+    repro many social-pl 3 1542 97 210  # one-to-many from a published view
     repro experiment e2                 # regenerate one experiment table
     repro experiment all                # regenerate every table
 """
@@ -68,6 +69,46 @@ def _cmd_query(args: argparse.Namespace) -> int:
     if args.path and args.kind == "distance":
         path_result = sg.shortest_path(args.source, args.target)
         print(f"  path: {path_result.path}")
+    return 0
+
+
+def _cmd_many(args: argparse.Namespace) -> int:
+    import math
+
+    from repro.streaming.versioning import VersionedStore
+
+    graph = load_dataset(args.dataset)
+    sg = SGraph(
+        graph=graph,
+        config=SGraphConfig(
+            num_hubs=args.hubs,
+            hub_strategy=args.strategy,
+            queries=("distance",),
+            backend=args.backend,
+        ),
+    )
+    sg.rebuild_indexes()
+    # Serve from a published epoch, the paper's read pattern: the batch runs
+    # against the frozen snapshot (dense CSR + numpy hub rows unless
+    # --backend dict), isolated from any later churn.
+    view = VersionedStore(sg).publish()
+    result = view.distance_many_result(args.source, args.targets)
+    rows = [
+        {"target": t,
+         "distance": ("unreachable" if v == math.inf else round(v, 6))}
+        for t, v in sorted(result.values.items())
+    ]
+    print(format_table(
+        rows,
+        title=f"distance_many({args.source}) @ epoch {result.epoch}",
+    ))
+    stats = result.stats
+    print(
+        f"  {len(result)} targets ({result.reachable_count} reachable) in "
+        f"{1e3 * stats.elapsed:.3f} ms: {stats.activations} activations, "
+        f"{stats.pruned_by_lower_bound} lb-pruned, "
+        f"answered_by_index={stats.answered_by_index}"
+    )
     return 0
 
 
@@ -179,6 +220,20 @@ def build_parser() -> argparse.ArgumentParser:
                        help="serving plane for distance/hops queries")
     query.set_defaults(fn=_cmd_query)
 
+    many = sub.add_parser(
+        "many", help="run one batched one-to-many query from a published view"
+    )
+    many.add_argument("dataset", choices=dataset_names())
+    many.add_argument("source", type=int)
+    many.add_argument("targets", type=int, nargs="+")
+    many.add_argument("--hubs", type=int, default=16)
+    many.add_argument("--strategy", default="degree",
+                      choices=sorted(STRATEGIES))
+    many.add_argument("--backend", default="auto",
+                      choices=["auto", "dense", "dict"],
+                      help="serving plane for the published view")
+    many.set_defaults(fn=_cmd_many)
+
     tune = sub.add_parser("tune", help="auto-tune hub configuration")
     tune.add_argument("dataset", choices=dataset_names())
     tune.add_argument("--pairs", type=int, default=24)
@@ -203,7 +258,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     experiment = sub.add_parser("experiment",
                                 help="regenerate an experiment table")
-    experiment.add_argument("id", help="e1..e19, or 'all'")
+    experiment.add_argument("id", help="e1..e20, or 'all'")
     experiment.add_argument("--backend", default="auto",
                             choices=["auto", "dense", "dict"],
                             help="serving plane for backend-aware experiments")

@@ -23,7 +23,7 @@ from __future__ import annotations
 import math
 from typing import Callable, Dict, Optional, Sequence, Tuple
 
-from repro.core.bounds import DenseQueryBounds, QueryBounds
+from repro.core.bounds import DenseManyBounds, DenseQueryBounds, QueryBounds
 from repro.core.hub_index import DensePlane, HubIndex
 from repro.core.paths import hub_witness_path, stitch_bidirectional
 from repro.core.pruning import PruningPolicy
@@ -231,7 +231,13 @@ class PairwiseEngine:
         the search frontier can no longer beat that target's hub witness,
         the witness is the answer.  Returns a dict (unreachable targets map
         to the algebra's unreachable value) and one combined stats record.
+
+        When a dense plane serves this engine the whole routine runs on
+        flat arrays (see :meth:`_one_to_many_dense`); answers and stats are
+        identical, only faster.
         """
+        if self._dense_ready() is not None:
+            return self._one_to_many_dense(source, targets)
         graph = self._graph
         sr = self._semiring
         stats = QueryStats()
@@ -323,6 +329,171 @@ class PairwiseEngine:
                         incumbents[u] = candidate
         for t in remaining:
             results[t] = incumbents[t]
+        return results, stats
+
+    def _one_to_many_dense(
+        self, source: int, targets: Sequence[int]
+    ) -> Tuple[Dict[int, float], QueryStats]:
+        """Flat-array mirror of :meth:`one_to_many` over the dense plane.
+
+        Same amortization, same answers, same stats.  The per-target dict
+        bookkeeping of the reference path becomes dense-id arrays: one
+        shared ``g``-label list, a ``slot`` array mapping dense ids to
+        active-target positions (swap-removed as targets finalize), and
+        per-hub bound math batched over the whole target set by
+        :class:`DenseManyBounds` — index-closable targets drop out before
+        the search starts, and the finalize-early / lower-bound prune
+        checks scan flat incumbent and residual lists instead of probing
+        dicts per target.  Min-plus algebra only.
+        """
+        plane = self._dense
+        csr = plane.csr
+        graph = self._graph
+        stats = QueryStats()
+        if not graph.has_vertex(source):
+            raise QueryError(f"query endpoint {source} is not in the graph")
+        inf = math.inf
+        results: Dict[int, float] = {}
+        seen: set = set()
+        uniq: List[int] = []
+        for t in targets:
+            if not graph.has_vertex(t):
+                raise QueryError(f"query endpoint {t} is not in the graph")
+            if t in seen:
+                continue
+            seen.add(t)
+            if t == source:
+                results[t] = 0.0
+                continue
+            uniq.append(t)
+
+        s = csr.dense_id(source)
+        use_lb = self._policy.uses_lower_bounds
+        act_t: List[int] = []        # dense ids of targets the search carries
+        act_inc: List[float] = []    # their incumbents (hub witness seeds)
+        bounds: Optional[DenseManyBounds] = None
+        if uniq:
+            t_dense = [csr.dense_id(t) for t in uniq]
+            if self._policy.uses_index:
+                bounds = DenseManyBounds(plane.tables, s, t_dense)
+                ubs = bounds.upper_bounds()
+                if use_lb:
+                    lbs = bounds.lower_bounds()
+                    for i, t in enumerate(uniq):
+                        ub = ubs[i]
+                        lb = lbs[i]
+                        if lb == inf:
+                            # The index proves there is no path at all.
+                            results[t] = inf
+                        elif ub != inf and lb == ub:
+                            # Bounds coincide: the witness is the answer.
+                            results[t] = ub
+                        else:
+                            act_t.append(t_dense[i])
+                            act_inc.append(ub)
+                else:
+                    act_t = t_dense
+                    act_inc = list(ubs)
+            else:
+                act_t = t_dense
+                act_inc = [inf] * len(t_dense)
+        if not act_t:
+            stats.answered_by_index = True
+            return results, stats
+        act_res: List[list] = (
+            bounds.residual_lists(act_t) if use_lb else []
+        )
+
+        n = csr.num_vertices
+        g = [inf] * n
+        g[s] = 0.0
+        settled = bytearray(n)
+        # Dense id -> position in the active lists (-1 when not active);
+        # the array form of the dict path's `remaining` membership test.
+        slot = [-1] * n
+        for i, td in enumerate(act_t):
+            slot[td] = i
+        ids = csr.ids
+        indptr, indices, weights = csr.out_lists()
+        heap = IndexedHeap()
+        heap.push(s, 0.0)
+        m = len(act_t)
+        while heap and m:
+            v, _priority = heap.pop()
+            cost_v = g[v]
+            settled[v] = 1
+            # Finalize targets the frontier can no longer improve on
+            # (swap-removal keeps the active lists packed; the answer set
+            # is order-independent, so removal order does not matter).
+            i = 0
+            while i < m:
+                if cost_v >= act_inc[i]:
+                    td = act_t[i]
+                    results[ids[td]] = act_inc[i]
+                    slot[td] = -1
+                    m -= 1
+                    if i != m:
+                        act_t[i] = act_t[m]
+                        act_inc[i] = act_inc[m]
+                        if use_lb:
+                            act_res[i] = act_res[m]
+                        slot[act_t[i]] = i
+                    act_t.pop()
+                    act_inc.pop()
+                    if use_lb:
+                        act_res.pop()
+                else:
+                    i += 1
+            if not m:
+                break
+            i = slot[v]
+            if i >= 0:
+                results[ids[v]] = cost_v
+                slot[v] = -1
+                m -= 1
+                if i != m:
+                    act_t[i] = act_t[m]
+                    act_inc[i] = act_inc[m]
+                    if use_lb:
+                        act_res[i] = act_res[m]
+                    slot[act_t[i]] = i
+                act_t.pop()
+                act_inc.pop()
+                if use_lb:
+                    act_res.pop()
+                if not m:
+                    break
+            if use_lb:
+                # Expand only vertices that can still improve on *some*
+                # remaining target's incumbent.  `residual >= inc - g(v)`
+                # is the dict path's full prunable_forward decision: the
+                # clamped residual covers `need <= 0` and `inf` marks a
+                # proof of unreachability (inf >= inf prunes too).
+                useful = False
+                for i in range(m):
+                    if act_res[i][v] < act_inc[i] - cost_v:
+                        useful = True
+                        break
+                if not useful:
+                    stats.pruned_by_lower_bound += 1
+                    continue
+            stats.activations += 1
+            for k in range(indptr[v], indptr[v + 1]):
+                u = indices[k]
+                stats.relaxations += 1
+                if settled[u]:
+                    continue
+                candidate = cost_v + weights[k]
+                if candidate < g[u]:
+                    g[u] = candidate
+                    heap.push(u, candidate)
+                    stats.pushes += 1
+                    # A better label for a live target tightens its incumbent.
+                    j = slot[u]
+                    if j >= 0 and candidate < act_inc[j]:
+                        act_inc[j] = candidate
+        for i in range(m):
+            results[ids[act_t[i]]] = act_inc[i]
         return results, stats
 
     # -- path-mode search ---------------------------------------------------------
@@ -751,3 +922,92 @@ class PairwiseEngine:
                     stats.pushes += 1
 
         return incumbent, stats
+
+
+# -- neighborhood expansion (nearest / within) --------------------------------
+#
+# Truncated forward Dijkstra in its two serving representations.  Both
+# return (vertex, distance) pairs in non-decreasing distance order and are
+# interchangeable except for tie-breaking among equidistant vertices (heap
+# order differs between caller-id and dense-id keying).
+
+
+def expand_from_graph(
+    graph,
+    source: int,
+    max_results: Optional[int],
+    radius: Optional[float],
+) -> list:
+    """Dict-plane truncated Dijkstra from ``source`` (the reference path).
+
+    Stops after ``max_results`` results (``nearest``) or once the frontier
+    passes ``radius`` (``within``); the source itself is excluded.
+    """
+    if not graph.has_vertex(source):
+        raise QueryError(f"query endpoint {source} is not in the graph")
+    heap = IndexedHeap()
+    heap.push(source, 0.0)
+    labels = {source: 0.0}
+    settled: set = set()
+    results: list = []
+    while heap:
+        v, dist = heap.pop()
+        settled.add(v)
+        if radius is not None and dist > radius:
+            break
+        if v != source:
+            results.append((v, dist))
+            if max_results is not None and len(results) >= max_results:
+                break
+        for u, w in graph.out_items(v):
+            if u in settled:
+                continue
+            cand = dist + w
+            if cand < labels.get(u, math.inf):
+                labels[u] = cand
+                heap.push(u, cand)
+    return results
+
+
+def expand_from_csr(
+    csr,
+    source: int,
+    max_results: Optional[int],
+    radius: Optional[float],
+) -> list:
+    """Dense-plane twin of :func:`expand_from_graph` over CSR arrays.
+
+    Search state lives in flat lists indexed by dense id; results are
+    translated back to caller-visible vertex ids on append.  ``source`` is
+    a caller-visible id and must already be validated against the graph
+    the CSR was built from.
+    """
+    n = csr.num_vertices
+    s = csr.dense_id(source)
+    ids = csr.ids
+    indptr, indices, weights = csr.out_lists()
+    inf = math.inf
+    g = [inf] * n
+    g[s] = 0.0
+    settled = bytearray(n)
+    heap = IndexedHeap()
+    heap.push(s, 0.0)
+    results: list = []
+    while heap:
+        v, dist = heap.pop()
+        settled[v] = 1
+        if radius is not None and dist > radius:
+            break
+        if v != s:
+            results.append((ids[v], dist))
+            if max_results is not None and len(results) >= max_results:
+                break
+        for k in range(indptr[v], indptr[v + 1]):
+            u = indices[k]
+            if settled[u]:
+                continue
+            cand = dist + weights[k]
+            if cand < g[u]:
+                g[u] = cand
+                heap.push(u, cand)
+    return results

@@ -591,6 +591,84 @@ class DenseHubTables:
         res = np.maximum(from_hub.max(axis=0), to_hub.max(axis=0))
         return np.maximum(res, 0.0)
 
+    def upper_bounds_many(self, s: int, targets: Sequence[int]) -> np.ndarray:
+        """Witness bounds ``min_h d(s,h) + d(h,t)`` for a whole target set.
+
+        One vectorized ``(k, m)`` pass replaces ``m`` per-target scans —
+        the batched twin of :meth:`upper_bound`, bit-identical per column
+        (min over the same IEEE float64 sums, merely evaluated together).
+        Dense ids in, a length-``m`` float64 array out.
+        """
+        F, B = self._stacked()
+        cols = np.asarray(targets, dtype=np.intp)
+        return (B[:, s][:, None] + F[:, cols]).min(axis=0)
+
+    def residual_pairs_many(self, s: int, targets: Sequence[int]) -> np.ndarray:
+        """Per-target lower bounds on ``d(s, t)`` for a whole target set.
+
+        The batched twin of :meth:`residual_pair`: identical per-hub
+        residual formulas, evaluated over the ``(k, m)`` target columns in
+        one pass.  Dense ids in, a length-``m`` float64 array out.
+        """
+        F, B = self._stacked()
+        inf = math.inf
+        cols = np.asarray(targets, dtype=np.intp)
+        fs = F[:, s][:, None]
+        bs = B[:, s][:, None]
+        ft = F[:, cols]
+        bt = B[:, cols]
+        with np.errstate(invalid="ignore"):
+            from_hub = np.where(
+                fs == inf, 0.0, np.where(ft == inf, inf, np.maximum(ft - fs, 0.0))
+            )
+            to_hub = np.where(
+                bt == inf, 0.0, np.where(bs == inf, inf, np.maximum(bs - bt, 0.0))
+            )
+        res = np.maximum(from_hub, to_hub).max(axis=0)
+        return np.maximum(res, 0.0)
+
+    def residual_rows_to_targets(self, targets: Sequence[int]) -> np.ndarray:
+        """``(m, |V|)`` matrix of lower bounds on ``d(v, t)`` per target.
+
+        The batched twin of :meth:`residual_rows_to_target` — identical
+        per-hub residual formulas, accumulated hub by hub with ``(m, |V|)``
+        broadcasts so peak memory stays one row-set rather than a
+        ``(k, m, |V|)`` cube.  Max over hubs is order-independent, so each
+        output row is bit-identical to the per-target method's.
+        """
+        F, B = self._stacked()
+        inf = math.inf
+        cols = np.asarray(targets, dtype=np.intp)
+        out = np.zeros((len(cols), F.shape[1]))
+        if B is F:
+            # Undirected: max(from_hub, to_hub) collapses to |d(h,t)-d(h,v)|
+            # exactly (IEEE negation is exact; one-sided inf -> inf; both
+            # inf -> inf-inf = nan -> no evidence, i.e. 0).
+            with np.errstate(invalid="ignore"):
+                for h in range(F.shape[0]):
+                    fv = F[h]
+                    d = np.abs(fv[cols][:, None] - fv)
+                    d[np.isnan(d)] = 0.0
+                    np.maximum(out, d, out=out)
+            return out
+        with np.errstate(invalid="ignore"):
+            for h in range(F.shape[0]):
+                fv = F[h]
+                bv = B[h]
+                ft = fv[cols][:, None]
+                bt = bv[cols][:, None]
+                from_hub = np.where(
+                    fv == inf, 0.0,
+                    np.where(ft == inf, inf, np.maximum(ft - fv, 0.0)),
+                )
+                to_hub = np.where(
+                    bt == inf, 0.0,
+                    np.where(bv == inf, inf, np.maximum(bv - bt, 0.0)),
+                )
+                np.maximum(out, from_hub, out=out)
+                np.maximum(out, to_hub, out=out)
+        return out
+
     def residual_rows_from_source(self, s: int) -> np.ndarray:
         """Row of lower bounds on ``d(s, v)`` for every dense id ``v``."""
         F, B = self._stacked()

@@ -16,9 +16,9 @@ supported query kinds map onto the two cost algebras plus derived forms:
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from enum import Enum
-from typing import List, Optional
+from typing import Dict, List, Optional
 
 from repro.core.stats import QueryStats
 
@@ -114,4 +114,43 @@ class QueryResult:
         return (
             f"QueryResult({self.kind.value}, {self.source}->{self.target}, "
             f"value={self.value}, act={self.stats.activations})"
+        )
+
+
+@dataclass
+class ManyQueryResult:
+    """Answer + combined execution counters for one one-to-many query.
+
+    The batched sibling of :class:`QueryResult`: one source, a value per
+    target, and a single :class:`QueryStats` record covering the whole
+    shared search — so batched queries are as observable as pairwise ones
+    (the combined counters are what the amortization experiments measure).
+    """
+
+    kind: QueryKind
+    source: int
+    #: best cost per target (``math.inf`` encodes unreachable)
+    values: Dict[int, float] = field(default_factory=dict)
+    stats: QueryStats = field(default_factory=QueryStats)
+    #: epoch of the graph state this answer reflects
+    epoch: Optional[int] = None
+
+    def __getitem__(self, target: int) -> float:
+        return self.values[target]
+
+    def __len__(self) -> int:
+        return len(self.values)
+
+    def __contains__(self, target: int) -> bool:
+        return target in self.values
+
+    @property
+    def reachable_count(self) -> int:
+        """How many targets have a finite answer."""
+        return sum(1 for v in self.values.values() if v != math.inf)
+
+    def __repr__(self) -> str:
+        return (
+            f"ManyQueryResult({self.kind.value}, {self.source}->"
+            f"{len(self.values)} targets, act={self.stats.activations})"
         )

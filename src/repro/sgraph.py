@@ -29,9 +29,13 @@ from typing import Dict, Iterable, List, Optional, Tuple
 
 from repro.core.cache import QueryCache
 from repro.core.config import SGraphConfig
-from repro.core.engine import PairwiseEngine
+from repro.core.engine import (
+    PairwiseEngine,
+    expand_from_csr,
+    expand_from_graph,
+)
 from repro.core.hub_index import DensePlane, HubIndex
-from repro.core.pairwise import QueryKind, QueryResult
+from repro.core.pairwise import ManyQueryResult, QueryKind, QueryResult
 from repro.core.semiring import (
     BOTTLENECK_CAPACITY,
     RELIABILITY_PRODUCT,
@@ -476,7 +480,21 @@ class SGraph:
 
         Much cheaper than per-target :meth:`distance` calls when the target
         set is large: index-closable targets cost nothing and the rest share
-        a single search (see :meth:`PairwiseEngine.one_to_many`).
+        a single search (see :meth:`PairwiseEngine.one_to_many`).  Use
+        :meth:`distance_many_result` when the combined search counters are
+        wanted alongside the values.
+        """
+        return self.distance_many_result(source, targets).values
+
+    def distance_many_result(
+        self, source: int, targets: Iterable[int]
+    ) -> ManyQueryResult:
+        """Like :meth:`distance_many`, surfacing the combined counters.
+
+        Returns a :class:`~repro.core.pairwise.ManyQueryResult` whose
+        ``stats`` record covers the entire shared search — batched queries
+        are observable exactly like pairwise ones.  Under
+        ``backend="dense"`` the search runs on the flat-array plane.
         """
         self._ensure_indexes()
         if "distance" not in self._engines:
@@ -484,10 +502,17 @@ class SGraph:
                 "distance_many needs the 'distance' family in "
                 f"SGraphConfig.queries (configured: {self._config.queries})"
             )
-        results, _stats = self._engines["distance"].one_to_many(
-            source, list(targets)
+        engine = self._serving_engine("distance")
+        start = time.perf_counter()
+        results, stats = engine.one_to_many(source, list(targets))
+        stats.elapsed = time.perf_counter() - start
+        return ManyQueryResult(
+            kind=QueryKind.DISTANCE,
+            source=source,
+            values=results,
+            stats=stats,
+            epoch=self.epoch,
         )
-        return results
 
     def nearest(self, source: int, k: int) -> List[Tuple[int, float]]:
         """The ``k`` closest vertices to ``source`` by weighted distance.
@@ -513,33 +538,24 @@ class SGraph:
         max_results: Optional[int],
         radius: Optional[float],
     ) -> List[Tuple[int, float]]:
+        """Truncated Dijkstra behind :meth:`nearest` / :meth:`within`.
+
+        Under ``backend="dense"`` (with the distance family configured)
+        the expansion walks the per-epoch CSR slices of the dense serving
+        plane instead of the live dict adjacency — same distances, flat
+        arrays.  Equidistant vertices may order differently between the
+        two planes (heap tie-breaking); distances always agree.
+        """
         graph = self._graph
         if not graph.has_vertex(source):
             raise QueryError(f"query endpoint {source} is not in the graph")
-        from repro.utils.pqueue import IndexedHeap
-
-        heap = IndexedHeap()
-        heap.push(source, 0.0)
-        labels = {source: 0.0}
-        settled = set()
-        results: List[Tuple[int, float]] = []
-        while heap:
-            v, dist = heap.pop()
-            settled.add(v)
-            if radius is not None and dist > radius:
-                break
-            if v != source:
-                results.append((v, dist))
-                if max_results is not None and len(results) >= max_results:
-                    break
-            for u, w in graph.out_items(v):
-                if u in settled:
-                    continue
-                cand = dist + w
-                if cand < labels.get(u, float("inf")):
-                    labels[u] = cand
-                    heap.push(u, cand)
-        return results
+        if (self._config.backend == "dense"
+                and "distance" in self._config.queries):
+            self._ensure_indexes()
+            plane = self._dense_engine("distance").dense_plane
+            if plane is not None:
+                return expand_from_csr(plane.csr, source, max_results, radius)
+        return expand_from_graph(graph, source, max_results, radius)
 
     # -- dense serving (backend="dense") ------------------------------------------
 
@@ -549,8 +565,9 @@ class SGraph:
         With ``backend="dense"`` the min-plus families are served by a
         per-epoch dense engine (flat arrays over the current snapshot);
         everything else — and every family under the other backends — uses
-        the live dict engine.  Path and one-to-many queries always stay on
-        the dict engines, which this method is not used for.
+        the live dict engine.  Value, budget, and one-to-many queries all
+        route through here; path queries stay on the dict engines (parent
+        maps need caller ids), which this method is not used for.
         """
         if self._config.backend == "dense" and family in ("distance", "hops"):
             return self._dense_engine(family)

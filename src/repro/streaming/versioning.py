@@ -26,12 +26,16 @@ from __future__ import annotations
 
 import time
 from collections import OrderedDict
-from typing import Dict, List, Optional
+from typing import Dict, Iterable, List, Optional, Tuple
 
-from repro.core.engine import PairwiseEngine
+from repro.core.engine import (
+    PairwiseEngine,
+    expand_from_csr,
+    expand_from_graph,
+)
 from repro.core.hub_index import DensePlane, HubIndex
-from repro.core.pairwise import QueryKind, QueryResult
-from repro.errors import ConfigError, SnapshotError
+from repro.core.pairwise import ManyQueryResult, QueryKind, QueryResult
+from repro.errors import ConfigError, QueryError, SnapshotError
 from repro.graph.snapshot import GraphSnapshot
 from repro.graph.views import UnitWeightView
 
@@ -121,6 +125,65 @@ class FrozenView:
         return QueryResult(kind=QueryKind.REACHABILITY, source=source,
                            target=target, value=1.0 if ok else 0.0,
                            stats=stats, epoch=self.epoch)
+
+    # -- batched queries ----------------------------------------------------
+
+    def distance_many(
+        self, source: int, targets: Iterable[int]
+    ) -> Dict[int, float]:
+        """Shortest distances to every target, as of this epoch.
+
+        One shared search (see :meth:`PairwiseEngine.one_to_many`); when
+        this view serves the dense plane the whole batch runs on the same
+        flat arrays as its pairwise queries.
+        """
+        return self.distance_many_result(source, targets).values
+
+    def distance_many_result(
+        self, source: int, targets: Iterable[int]
+    ) -> ManyQueryResult:
+        """Like :meth:`distance_many`, surfacing the combined counters."""
+        engine = self._engine("distance")
+        start = time.perf_counter()
+        results, stats = engine.one_to_many(source, list(targets))
+        stats.elapsed = time.perf_counter() - start
+        return ManyQueryResult(
+            kind=QueryKind.DISTANCE,
+            source=source,
+            values=results,
+            stats=stats,
+            epoch=self.epoch,
+        )
+
+    def nearest(self, source: int, k: int) -> List[Tuple[int, float]]:
+        """The ``k`` closest vertices to ``source`` as of this epoch.
+
+        Runs over the view's dense CSR when the distance family is served
+        dense; otherwise a dict traversal of the frozen snapshot.
+        """
+        if k < 1:
+            raise QueryError("k must be >= 1")
+        return self._expand_from(source, max_results=k, radius=None)
+
+    def within(self, source: int, radius: float) -> List[Tuple[int, float]]:
+        """All vertices within distance ``radius``, as of this epoch."""
+        if radius < 0:
+            raise QueryError("radius must be non-negative")
+        return self._expand_from(source, max_results=None, radius=radius)
+
+    def _expand_from(
+        self,
+        source: int,
+        max_results: Optional[int],
+        radius: Optional[float],
+    ) -> List[Tuple[int, float]]:
+        engine = self._engine("distance")
+        if not self._snapshot.has_vertex(source):
+            raise QueryError(f"query endpoint {source} is not in the graph")
+        plane = engine.dense_plane  # forces the lazy factory, once per view
+        if plane is not None:
+            return expand_from_csr(plane.csr, source, max_results, radius)
+        return expand_from_graph(self._snapshot, source, max_results, radius)
 
 
 class VersionedStore:

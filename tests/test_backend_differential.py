@@ -164,6 +164,98 @@ class TestFacadeParity:
         assert _stats_tuple(b.stats) == _stats_tuple(a.stats)
 
 
+class TestOneToManyParity:
+    """Batched one-to-many: dense flat-array search vs the dict reference."""
+
+    @pytest.mark.parametrize("policy", POLICIES)
+    @pytest.mark.parametrize("directed", [False, True])
+    def test_distance_many_bit_identical(self, policy, directed):
+        rng = random.Random(2000 + 10 * directed + POLICIES.index(policy))
+        sg_dict, sg_dense = _twin_sgraphs(rng, policy, directed)
+        verts = sorted(sg_dict.graph.vertices())
+        for _epoch_round in range(3):
+            for _ in range(12):
+                s = rng.choice(verts)
+                targets = rng.sample(verts, rng.randrange(1, 24))
+                a = sg_dict.distance_many_result(s, targets)
+                b = sg_dense.distance_many_result(s, targets)
+                assert b.values == a.values  # exact, not approx
+                assert _stats_tuple(b.stats) == _stats_tuple(a.stats)
+            _churn(rng, (sg_dict, sg_dense), rounds=6)
+
+    def test_degenerate_batches_match(self):
+        rng = random.Random(2100)
+        sg_dict, sg_dense = _twin_sgraphs(
+            rng, PruningPolicy.UPPER_AND_LOWER, directed=True
+        )
+        verts = sorted(sg_dict.graph.vertices())
+        s = verts[0]
+        isolated = verts[-1]  # _random_graph never wires the last 3 vertices
+        for targets in (
+            [],                        # empty batch: answered_by_index
+            [s],                       # source-only: zero distance, no search
+            [s, s, verts[1], verts[1]],  # duplicates collapse identically
+            [isolated],                # index proves unreachability
+            [isolated, s, verts[1]],
+        ):
+            a = sg_dict.distance_many_result(s, targets)
+            b = sg_dense.distance_many_result(s, targets)
+            assert b.values == a.values
+            assert _stats_tuple(b.stats) == _stats_tuple(a.stats)
+
+    def test_many_agrees_with_singles(self):
+        # The batch must return the per-target answers, both planes.  Exact
+        # equality only holds within an algorithm: the pairwise engine's
+        # bidirectional meet sums the two half-paths in a different order
+        # than the forward-only batch, so this cross-check is isclose.
+        rng = random.Random(2200)
+        sg_dict, sg_dense = _twin_sgraphs(
+            rng, PruningPolicy.UPPER_AND_LOWER, directed=False
+        )
+        verts = sorted(sg_dict.graph.vertices())
+        s = verts[2]
+        targets = rng.sample(verts, 16)
+        many = sg_dense.distance_many(s, targets)
+        for t in targets:
+            assert math.isclose(many[t], sg_dict.distance(s, t).value,
+                                rel_tol=1e-9)
+
+
+class TestNeighborhoodParity:
+    """nearest/within: dense CSR expansion vs the dict-plane traversal."""
+
+    @pytest.mark.parametrize("directed", [False, True])
+    def test_nearest_and_within_match(self, directed):
+        rng = random.Random(3000 + directed)
+        sg_dict, sg_dense = _twin_sgraphs(
+            rng, PruningPolicy.UPPER_AND_LOWER, directed
+        )
+        verts = sorted(sg_dict.graph.vertices())
+        for _epoch_round in range(2):
+            for _ in range(15):
+                s = rng.choice(verts)
+                k = rng.randrange(1, 25)
+                radius = rng.uniform(0.5, 8.0)
+                # Continuous weights: orderings are tie-free, so the ranked
+                # lists must agree element-for-element.
+                assert sg_dense.nearest(s, k) == sg_dict.nearest(s, k)
+                assert (sg_dense.within(s, radius)
+                        == sg_dict.within(s, radius))
+            _churn(rng, (sg_dict, sg_dense), rounds=6)
+
+    def test_isolated_source_expands_to_nothing(self):
+        # The source itself is excluded from expansion results, so an
+        # isolated vertex yields an empty neighborhood on both planes.
+        rng = random.Random(3100)
+        sg_dict, sg_dense = _twin_sgraphs(
+            rng, PruningPolicy.UPPER_AND_LOWER, directed=True
+        )
+        isolated = sorted(sg_dict.graph.vertices())[-1]
+        for sg in (sg_dict, sg_dense):
+            assert sg.nearest(isolated, 5) == []
+            assert sg.within(isolated, 10.0) == []
+
+
 class TestFrozenViewParity:
     """Published views (backend auto → dense) vs the dict reference."""
 
@@ -194,6 +286,34 @@ class TestFrozenViewParity:
                 assert _stats_tuple(b.stats) == _stats_tuple(a.stats)
                 assert (va.within_distance(s, t, 6.0).value
                         == vd.within_distance(s, t, 6.0).value)
+            _churn(rng, (sg_auto, sg_dict), rounds=8)
+
+    def test_view_batched_verbs_bit_identical(self):
+        rng = random.Random(25)
+        facades = []
+        for backend in ("auto", "dict"):
+            g = _random_graph(random.Random(98), 70, 200, directed=False)
+            facades.append(SGraph(graph=g, config=SGraphConfig(
+                num_hubs=5, policy=PruningPolicy.UPPER_AND_LOWER,
+                queries=("distance",), backend=backend,
+            )))
+        sg_auto, sg_dict = facades
+        store_auto = VersionedStore(sg_auto, capacity=4)
+        store_dict = VersionedStore(sg_dict, capacity=4)
+        verts = sorted(sg_auto.graph.vertices())
+        for _publish_round in range(3):
+            va = store_auto.publish()
+            vd = store_dict.publish()
+            for _ in range(10):
+                s = rng.choice(verts)
+                targets = rng.sample(verts, rng.randrange(1, 20))
+                a = vd.distance_many_result(s, targets)
+                b = va.distance_many_result(s, targets)
+                assert b.values == a.values
+                assert b.epoch == a.epoch == va.epoch
+                assert _stats_tuple(b.stats) == _stats_tuple(a.stats)
+                assert va.nearest(s, 8) == vd.nearest(s, 8)
+                assert va.within(s, 5.0) == vd.within(s, 5.0)
             _churn(rng, (sg_auto, sg_dict), rounds=8)
 
     def test_old_view_unaffected_by_later_churn(self):

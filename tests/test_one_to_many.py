@@ -115,3 +115,17 @@ class TestFacade:
                     config=SGraphConfig(queries=("capacity",)))
         with pytest.raises(ConfigError):
             sg.distance_many(0, [1])
+
+    def test_distance_many_result_surfaces_stats(self):
+        sg = SGraph.from_edges([(0, 1, 1.0), (1, 2, 2.0), (3, 4, 1.0)],
+                               config=SGraphConfig(num_hubs=2))
+        result = sg.distance_many_result(0, [1, 2, 4])
+        assert result.values == sg.distance_many(0, [1, 2, 4])
+        assert result.source == 0
+        assert result.epoch == sg.epoch
+        assert len(result) == 3 and 2 in result and result[2] == 3.0
+        assert result.reachable_count == 2
+        # The combined counters of the shared search — previously discarded.
+        assert result.stats.elapsed > 0.0
+        assert (result.stats.activations > 0
+                or result.stats.answered_by_index)
