@@ -1,0 +1,79 @@
+"""E21 — multiprocess shm serving: throughput scaling + attach latency.
+
+Claim reproduced (shape): serving the dense plane from shared memory lets
+reader processes scale pairwise throughput without copying the graph —
+workers attach O(#buffers) views over the writer's segments and run the
+bit-identical ``_search_dense`` hot path, while the writer keeps ingesting
+and publishing epochs.
+
+Three assertions, in decreasing universality:
+
+* correctness is unconditional — every pool answer (value and all six
+  stats counters) matches a single-process reference engine over the same
+  frozen epoch, and teardown leaves zero segments in ``/dev/shm``;
+* attach latency is O(#buffers), so it must stay essentially flat while
+  ``load_scaled`` quadruples the plane;
+* the ≥2.5× 4-worker scaling claim needs actual cores: it is asserted
+  only when the box grants this process 4+ CPUs (a 1-core CI container
+  pays IPC for no parallelism, and the table documents that honestly).
+
+``REPRO_E21_WORKERS`` (comma list, e.g. ``1,2``) caps the sweep for smoke
+runs.
+"""
+
+import os
+
+from benchmarks.conftest import run_rows
+from repro.bench.experiments import run_e21_shm_serving
+from repro.serving import shm_available
+
+import pytest
+
+pytestmark = pytest.mark.skipif(
+    not shm_available(), reason="POSIX shared memory unavailable"
+)
+
+
+def _cpus() -> int:
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:  # pragma: no cover - non-Linux
+        return os.cpu_count() or 1
+
+
+def test_e21_shm_serving_table(benchmark):
+    rows = run_rows(
+        benchmark, run_e21_shm_serving,
+        "E21 — multiprocess shm serving",
+    )
+    pool_rows = [r for r in rows if r["mode"] == "shm-pool"]
+    attach_rows = [r for r in rows if r["mode"] == "attach"]
+    assert pool_rows and attach_rows
+
+    # Unconditional: bit-identical answers and zero leaked segments at
+    # every worker count on both topologies.
+    for row in pool_rows:
+        answered, total = map(int, row["parity"].split("/"))
+        assert answered == total, (
+            f"{row['dataset']} x{row['workers']}: {row['parity']} parity"
+        )
+        assert row["leaked"] == 0
+
+    # Attach is O(#buffers): the largest plane may not cost more than 5x
+    # the smallest's attach latency despite 4x the bytes (generous bound —
+    # both are fractions of a millisecond; O(V+E) attach would be tens).
+    attach_rows.sort(key=lambda r: r["plane_mb"])
+    assert attach_rows[-1]["attach_ms"] <= max(
+        5 * attach_rows[0]["attach_ms"], 5.0
+    )
+
+    # Scaling needs cores.  Gate the paper-shaped claim on actually having
+    # them; the rows above document single-core behavior either way.
+    if _cpus() >= 4:
+        for dataset in {r["dataset"] for r in pool_rows}:
+            best = max(r["speedup"] for r in pool_rows
+                       if r["dataset"] == dataset and r["workers"] >= 4)
+            assert best >= 2.5, (
+                f"{dataset}: 4-worker speedup {best} < 2.5 on a "
+                f"{_cpus()}-cpu box"
+            )

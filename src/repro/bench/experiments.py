@@ -1,4 +1,4 @@
-"""One function per reconstructed experiment (E1–E20).
+"""One function per reconstructed experiment (E1–E21).
 
 Each ``run_eN`` returns the table rows the corresponding paper table/figure
 would carry; the ``benchmarks/bench_eN_*.py`` modules execute them under
@@ -13,9 +13,10 @@ Python; see DESIGN.md for the scale-substitution rationale.
 from __future__ import annotations
 
 import math
+import os
 import random
 import time
-from typing import Callable, Dict, List, Sequence, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.baselines.dijkstra import bidirectional_dijkstra, dijkstra_distance
 from repro.baselines.propagation import PropagationEngine
@@ -890,6 +891,171 @@ def run_e20_many_backend(
 
 
 # ---------------------------------------------------------------------------
+# E21 (extension) — multiprocess shm serving: scaling + attach latency
+# ---------------------------------------------------------------------------
+
+def run_e21_shm_serving(
+    worker_counts: Optional[Sequence[int]] = None,
+    num_pairs: int = 192,
+    ingest_rounds: int = 3,
+    updates_per_round: int = 20,
+    attach_scales: Sequence[float] = (0.25, 0.5, 1.0),
+) -> List[Row]:
+    """Throughput scaling of the shm worker pool, with concurrent ingest.
+
+    Per dataset: a single-process baseline answers the full query schedule
+    against published views (dense plane, same ``_search_dense`` hot path)
+    while ingesting between rounds; then the identical schedule fans out
+    over a :class:`~repro.serving.pool.ServeSession` with 1/2/4 reader
+    processes attached to the shm-exported planes.  An untimed parity pass
+    at the final epoch checks every pool answer — value AND the six stats
+    counters — against a dict-free reference engine over the same frozen
+    state, and the ``leaked`` column counts segments left in ``/dev/shm``
+    after teardown (must be 0).
+
+    Speedup > 1 requires actual cores; on a single-core box the pool pays
+    IPC for no parallelism and the scaling rows document that honestly
+    (``benchmarks/bench_e21_shm_serving.py`` gates its ≥2.5× assertion on
+    ``len(os.sched_getaffinity(0)) >= 4``).  ``REPRO_E21_WORKERS`` (a
+    comma list) overrides the worker counts — CI smoke uses ``1,2``.
+
+    The attach rows measure the handoff cost model: attaching a plane is
+    O(#buffers) — map + manifest parse + a few ``np.frombuffer`` views —
+    so the latency must stay flat as ``load_scaled`` grows the plane.
+    """
+    from repro.serving import ShmPlane, leaked_segments, shm_available
+
+    if not shm_available():  # pragma: no cover - exotic platforms only
+        return [{"dataset": "-", "workers": 0, "mode": "unavailable"}]
+    if worker_counts is None:
+        env = os.environ.get("REPRO_E21_WORKERS", "")
+        parsed = tuple(int(x) for x in env.split(",") if x.strip())
+        worker_counts = parsed or (1, 2, 4)
+
+    rows: List[Row] = []
+    for dataset in ("social-pl", "road-grid"):
+        pairs = [tuple(p) for p in build_workload(
+            dataset, num_pairs=num_pairs,
+            hub_strategy=_strategy_for(dataset),
+        ).pairs]
+        batches = [pairs[i::ingest_rounds] for i in range(ingest_rounds)]
+        plan_rng = random.Random(29)
+        verts = sorted(load_dataset(dataset).vertices())
+        plan = [
+            [(plan_rng.choice(verts), plan_rng.choice(verts),
+              plan_rng.uniform(0.5, 2.0))
+             for _ in range(updates_per_round)]
+            for _ in range(ingest_rounds)
+        ]
+
+        def fresh_sgraph() -> SGraph:
+            return SGraph(graph=load_dataset(dataset), config=SGraphConfig(
+                num_hubs=16, hub_strategy=_strategy_for(dataset),
+                queries=("distance",),
+            ))
+
+        # -- single-process baseline (same dense search, no pool) --------
+        sg = fresh_sgraph()
+        store = VersionedStore(sg)
+        store.publish()
+        start = time.perf_counter()
+        for round_no in range(ingest_rounds):
+            engine = store.latest().engine("distance")
+            for s, t in batches[round_no]:
+                engine.best_cost(s, t)
+            for u, v, w in plan[round_no]:
+                if u != v:
+                    sg.add_edge(u, v, w)
+            store.publish()
+        base_elapsed = time.perf_counter() - start
+        rows.append({
+            "dataset": dataset, "workers": 0, "mode": "single-process",
+            "queries": num_pairs, "elapsed_s": round(base_elapsed, 3),
+            "qps": round(num_pairs / base_elapsed, 1), "speedup": 1.0,
+            "parity": "-", "leaked": 0,
+        })
+
+        # -- shm worker pool at each worker count -------------------------
+        for workers in worker_counts:
+            sg = fresh_sgraph()
+            session = sg.serve(workers=workers)
+            prefix = session.prefix
+            try:
+                start = time.perf_counter()
+                for round_no in range(ingest_rounds):
+                    session.map_distance(batches[round_no])
+                    for u, v, w in plan[round_no]:
+                        if u != v:
+                            sg.add_edge(u, v, w)
+                    session.publish()
+                elapsed = time.perf_counter() - start
+
+                # untimed parity pass at the final epoch
+                final = session.store.latest()
+                reference = PairwiseEngine(
+                    final.snapshot, index=final.engine("distance").index,
+                    policy=PruningPolicy.UPPER_AND_LOWER,
+                )
+                sample = pairs[:48]
+                matches = 0
+                for (s, t), (value, stats, epoch) in zip(
+                        sample, session.map_distance(sample)):
+                    ref_value, ref_stats = reference.best_cost(s, t)
+                    matches += (
+                        value == ref_value and epoch == final.epoch
+                        and stats.activations == ref_stats.activations
+                        and stats.pushes == ref_stats.pushes
+                        and stats.relaxations == ref_stats.relaxations
+                        and (stats.pruned_by_upper_bound
+                             == ref_stats.pruned_by_upper_bound)
+                        and (stats.pruned_by_lower_bound
+                             == ref_stats.pruned_by_lower_bound)
+                        and (stats.answered_by_index
+                             == ref_stats.answered_by_index)
+                    )
+            finally:
+                session.close()
+            rows.append({
+                "dataset": dataset, "workers": workers, "mode": "shm-pool",
+                "queries": num_pairs, "elapsed_s": round(elapsed, 3),
+                "qps": round(num_pairs / elapsed, 1),
+                "speedup": round(base_elapsed / elapsed, 2),
+                "parity": f"{matches}/{len(sample)}",
+                "leaked": len(leaked_segments(prefix)),
+            })
+
+    # -- attach latency vs plane size: O(#buffers), not O(V+E) -----------
+    for scale in attach_scales:
+        g = load_scaled("social-pl", scale)
+        sg = SGraph(graph=g, config=SGraphConfig(
+            num_hubs=16, queries=("distance",),
+        ))
+        store = VersionedStore(sg)
+        view = store.publish()
+        plane = view.dense_plane("distance")
+        name = f"rpe21-{os.getpid():x}-{int(scale * 100)}"
+        exported = ShmPlane.export(plane, name, epoch=view.epoch)
+        try:
+            timings = []
+            for _ in range(5):
+                t0 = time.perf_counter()
+                handle = ShmPlane.attach(name)
+                timings.append(time.perf_counter() - t0)
+                handle.close()
+            timings.sort()
+            rows.append({
+                "dataset": "social-pl", "workers": 0, "mode": "attach",
+                "scale": scale, "n": g.num_vertices,
+                "plane_mb": round(exported.nbytes / 2 ** 20, 2),
+                "attach_ms": _ms(timings[len(timings) // 2]),
+            })
+        finally:
+            exported.close()
+            exported.unlink()
+    return rows
+
+
+# ---------------------------------------------------------------------------
 
 ALL_EXPERIMENTS: Dict[str, Callable[[], List[Row]]] = {
     "E1 datasets": run_e1_datasets,
@@ -912,6 +1078,7 @@ ALL_EXPERIMENTS: Dict[str, Callable[[], List[Row]]] = {
     "E18 publish latency": run_e18_publish,
     "E19 backend": run_e19_backend,
     "E20 many backend": run_e20_many_backend,
+    "E21 shm serving": run_e21_shm_serving,
 }
 
 

@@ -6,6 +6,7 @@ Usage (also available as ``python -m repro.cli``)::
     repro profile social-pl             # profile one dataset proxy
     repro query social-pl 3 1542        # run one pairwise query
     repro many social-pl 3 1542 97 210  # one-to-many from a published view
+    repro serve social-pl --workers 2   # multiprocess shm serving demo
     repro experiment e2                 # regenerate one experiment table
     repro experiment all                # regenerate every table
 """
@@ -162,6 +163,50 @@ def _cmd_replay(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import random
+    import time
+
+    from repro.serving import leaked_segments, shm_available
+    from repro.streaming.workload import query_stream
+
+    if not shm_available():
+        print("POSIX shared memory is unavailable on this platform",
+              file=sys.stderr)
+        return 1
+    graph = load_dataset(args.dataset)
+    sg = SGraph(
+        graph=graph,
+        config=SGraphConfig(num_hubs=args.hubs, hub_strategy=args.strategy,
+                            queries=("distance",)),
+    )
+    pairs = list(query_stream(graph, args.queries, seed=7))
+    verts = sorted(graph.vertices())
+    rng = random.Random(11)
+    with sg.serve(workers=args.workers) as session:
+        prefix = session.prefix
+        print(f"serving {args.dataset} with {args.workers} worker "
+              f"process(es) over shm segments {prefix}*")
+        for round_no in range(args.rounds):
+            start = time.perf_counter()
+            answers = session.map_distance(pairs)
+            elapsed = time.perf_counter() - start
+            epochs = sorted({epoch for _, _, epoch in answers})
+            print(f"  round {round_no}: {len(answers)} queries in "
+                  f"{1e3 * elapsed:.1f} ms "
+                  f"({len(answers) / elapsed:.0f} q/s) @ epochs {epochs}")
+            for _ in range(args.updates):
+                u, v = rng.choice(verts), rng.choice(verts)
+                if u != v:
+                    sg.add_edge(u, v, rng.uniform(0.5, 2.0))
+            view = session.publish()
+            print(f"  ingested {args.updates} updates, "
+                  f"published epoch {view.epoch}")
+    leaked = leaked_segments(prefix)
+    print(f"closed: {len(leaked)} leaked shm segment(s)")
+    return 1 if leaked else 0
+
+
 def _cmd_experiment(args: argparse.Namespace) -> int:
     import inspect
 
@@ -256,9 +301,25 @@ def build_parser() -> argparse.ArgumentParser:
                         choices=sorted(STRATEGIES))
     replay.set_defaults(fn=_cmd_replay)
 
+    serve = sub.add_parser(
+        "serve", help="serve a dataset from a multiprocess shm worker pool"
+    )
+    serve.add_argument("dataset", choices=dataset_names())
+    serve.add_argument("--workers", type=int, default=2)
+    serve.add_argument("--hubs", type=int, default=16)
+    serve.add_argument("--strategy", default="degree",
+                       choices=sorted(STRATEGIES))
+    serve.add_argument("--queries", type=int, default=64,
+                       help="pairwise queries fanned out per round")
+    serve.add_argument("--rounds", type=int, default=3,
+                       help="query/ingest/publish rounds to run")
+    serve.add_argument("--updates", type=int, default=20,
+                       help="edge updates ingested between rounds")
+    serve.set_defaults(fn=_cmd_serve)
+
     experiment = sub.add_parser("experiment",
                                 help="regenerate an experiment table")
-    experiment.add_argument("id", help="e1..e20, or 'all'")
+    experiment.add_argument("id", help="e1..e21, or 'all'")
     experiment.add_argument("--backend", default="auto",
                             choices=["auto", "dense", "dict"],
                             help="serving plane for backend-aware experiments")

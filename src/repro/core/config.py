@@ -44,7 +44,12 @@ class SGraphConfig:
         mutation.  ``"auto"`` (the default) serves published
         :class:`~repro.streaming.versioning.FrozenView` versions dense —
         where the plane is derived delta-proportionally across publishes —
-        while the mutating facade stays on the dict path.
+        and crosses the *live* facade over to the dense plane only when the
+        workload is query-heavy: at least ``AUTO_DENSE_QUERY_RATIO`` queries
+        per update interval (EMA) or that many queries in a row since the
+        last mutation (see :meth:`repro.SGraph.serving_backend`).  Under
+        heavy churn auto therefore skips the per-epoch dense rebuild
+        entirely.
     """
 
     num_hubs: int = 16

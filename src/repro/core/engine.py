@@ -21,7 +21,7 @@ the same code answers shortest-distance and bottleneck queries.
 from __future__ import annotations
 
 import math
-from typing import Callable, Dict, Optional, Sequence, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.core.bounds import DenseManyBounds, DenseQueryBounds, QueryBounds
 from repro.core.hub_index import DensePlane, HubIndex
@@ -71,7 +71,11 @@ class PairwiseEngine:
     ) -> None:
         self._graph = graph
         self._policy = PruningPolicy.parse(policy)
-        if self._policy.uses_index and index is None:
+        if (self._policy.uses_index and index is None
+                and dense is None and dense_factory is None):
+            # A dense plane carries its own hub tables, so index-using
+            # policies can run index-free over it (the shm worker path);
+            # only the all-dict configuration strictly needs the index.
             raise ConfigError(f"policy {self._policy.value} requires a hub index")
         if index is not None and semiring is not None and index.semiring is not semiring:
             raise ConfigError(
@@ -217,7 +221,20 @@ class PairwiseEngine:
         searching.  Under the bottleneck algebra the witness shortcut is
         skipped (cost plateaus make tree descent ambiguous) and the search
         always produces the path.
+
+        When a dense plane serves this engine the search runs on flat
+        parent arrays in dense-id space (see :meth:`_path_search_dense`);
+        ids translate back only when the final path is stitched.  The
+        witness-shortcut fallback still descends the dict hub trees, so a
+        dense path engine under an index-using policy needs its index.
         """
+        if self._dense_ready() is not None:
+            if self._policy.uses_index and self._index is None:
+                raise ConfigError(
+                    "path queries under an index-using policy need the hub "
+                    "index for witness reconstruction"
+                )
+            return self._path_search_dense(source, target)
         return self._path_search(source, target)
 
     def one_to_many(
@@ -608,6 +625,145 @@ class PairwiseEngine:
             return unreachable, None, stats
         if best_meet is not None and best_meet_cost == incumbent:
             path = stitch_bidirectional(best_meet, parents_f, parents_b)
+            return incumbent, path, stats
+        # The hub witness remained unbeaten: materialize it from the index.
+        assert self._index is not None
+        path = hub_witness_path(self._index, graph, source, target)
+        stats.answered_by_index = True
+        return incumbent, path, stats
+
+    def _path_search_dense(
+        self, source: int, target: int
+    ) -> Tuple[float, Optional[list], QueryStats]:
+        """Flat-array mirror of :meth:`_path_search` over the dense plane.
+
+        Same strict-pruning decisions, same answers, same stats — but the
+        search state (``g`` labels, parents, settled marks) lives in flat
+        lists indexed by dense id, and the parent chains are stitched in
+        dense-id space with a single id translation at the end.  Min-plus
+        algebra only.
+        """
+        plane = self._dense
+        csr = plane.csr
+        graph = self._graph
+        stats = QueryStats()
+        for v in (source, target):
+            if not graph.has_vertex(v):
+                raise QueryError(f"query endpoint {v} is not in the graph")
+        if source == target:
+            stats.answered_by_index = True
+            return 0.0, [source], stats
+
+        inf = math.inf
+        s = csr.dense_id(source)
+        t = csr.dense_id(target)
+        bounds: Optional[DenseQueryBounds] = None
+        incumbent = inf
+        if self._policy.uses_index:
+            bounds = DenseQueryBounds(plane.tables, s, t)
+            if self._policy.uses_lower_bounds and bounds.lower_bound() == inf:
+                stats.answered_by_index = True
+                return inf, None, stats
+            # Seed the incumbent with the hub witness; if the search never
+            # beats it, the witness path itself is reconstructed.
+            incumbent = bounds.upper_bound
+
+        n = csr.num_vertices
+        g_f = [inf] * n
+        g_b = [inf] * n
+        g_f[s] = 0.0
+        g_b[t] = 0.0
+        parent_f = [-1] * n
+        parent_b = [-1] * n
+        settled_f = bytearray(n)
+        settled_b = bytearray(n)
+        heap_f = IndexedHeap()
+        heap_b = IndexedHeap()
+        heap_f.push(s, 0.0)
+        heap_b.push(t, 0.0)
+        indptr_f, indices_f, weights_f = csr.out_lists()
+        indptr_b, indices_b, weights_b = csr.in_lists()
+        use_ub = self._policy.uses_index
+        use_lb = self._policy.uses_lower_bounds
+        best_meet = -1
+        best_meet_cost = inf
+
+        while heap_f and heap_b:
+            if incumbent != inf:
+                key_f, _pf = heap_f.peek()
+                key_b, _pb = heap_b.peek()
+                if g_f[key_f] + g_b[key_b] > incumbent:
+                    break
+            forward = len(heap_f) <= len(heap_b)
+            if forward:
+                heap, g, g_other, settled, parent = (
+                    heap_f, g_f, g_b, settled_f, parent_f,
+                )
+                indptr, indices, weights = indptr_f, indices_f, weights_f
+            else:
+                heap, g, g_other, settled, parent = (
+                    heap_b, g_b, g_f, settled_b, parent_b,
+                )
+                indptr, indices, weights = indptr_b, indices_b, weights_b
+
+            v, _priority = heap.pop()
+            cost_v = g[v]
+            settled[v] = 1
+
+            other = g_other[v]
+            if other != inf:
+                candidate = cost_v + other
+                # Accept ties so an optimal meet is recorded even when the
+                # incumbent was seeded by an equally-good hub witness.
+                if candidate <= incumbent:
+                    incumbent = candidate
+                    best_meet = v
+                    best_meet_cost = candidate
+
+            # Strict pruning only: tied vertices may carry the optimal path.
+            if use_ub and incumbent != inf and incumbent < cost_v:
+                stats.pruned_by_upper_bound += 1
+                continue
+            if use_lb:
+                prunable = (
+                    bounds.prunable_forward(v, cost_v, incumbent, strict=True)
+                    if forward
+                    else bounds.prunable_backward(v, cost_v, incumbent,
+                                                  strict=True)
+                )
+                if prunable:
+                    stats.pruned_by_lower_bound += 1
+                    continue
+
+            stats.activations += 1
+            for k in range(indptr[v], indptr[v + 1]):
+                u = indices[k]
+                stats.relaxations += 1
+                if settled[u]:
+                    continue
+                candidate = cost_v + weights[k]
+                if candidate < g[u]:
+                    g[u] = candidate
+                    parent[u] = v
+                    heap.push(u, candidate)
+                    stats.pushes += 1
+
+        if incumbent == inf:
+            return inf, None, stats
+        if best_meet >= 0 and best_meet_cost == incumbent:
+            # Stitch both parent chains in dense-id space; translate to
+            # caller ids only here, once per path vertex.
+            ids = csr.ids
+            path: List[int] = []
+            node = best_meet
+            while node != -1:
+                path.append(ids[node])
+                node = parent_f[node]
+            path.reverse()
+            node = parent_b[best_meet]
+            while node != -1:
+                path.append(ids[node])
+                node = parent_b[node]
             return incumbent, path, stats
         # The hub witness remained unbeaten: materialize it from the index.
         assert self._index is not None

@@ -502,6 +502,41 @@ class DenseHubTables:
             bwd_refs=bwd_refs,
         )
 
+    @classmethod
+    def from_matrices(
+        cls,
+        hubs: Sequence[int],
+        F: np.ndarray,
+        B: np.ndarray,
+        ids: List[int],
+        directed: bool,
+    ) -> "DenseHubTables":
+        """Adopt prebuilt stacked ``(k, |V|)`` cost matrices by reference.
+
+        The shared-memory attach path: the per-hub rows become views into
+        ``F``/``B`` and the stacked matrices are pre-seeded, so neither
+        construction nor the first vectorized bound pays a copy.  Pass the
+        same array for ``B`` and ``F`` on undirected tables (backward then
+        aliases forward throughout).
+        """
+        fwd_rows = [F[j] for j in range(F.shape[0])]
+        if B is F:
+            bwd_rows = fwd_rows
+        else:
+            bwd_rows = [B[j] for j in range(B.shape[0])]
+        tables = cls(
+            hubs=list(hubs),
+            fwd_rows=fwd_rows,
+            bwd_rows=bwd_rows,
+            directed=directed,
+            ids=ids,
+            fwd_refs={},
+            bwd_refs={},
+        )
+        tables._F = F
+        tables._B = F if bwd_rows is fwd_rows else B
+        return tables
+
     @property
     def num_hubs(self) -> int:
         return len(self.hubs)
@@ -509,6 +544,14 @@ class DenseHubTables:
     @property
     def num_vertices(self) -> int:
         return len(self._ids)
+
+    @property
+    def nbytes(self) -> int:
+        """Array payload bytes of the per-hub rows."""
+        total = sum(int(row.nbytes) for row in self.fwd_rows)
+        if self.bwd_rows is not self.fwd_rows:
+            total += sum(int(row.nbytes) for row in self.bwd_rows)
+        return total
 
     def __repr__(self) -> str:
         return (
@@ -726,6 +769,15 @@ class DensePlane:
             csr, hubs, fwd_tables, bwd_tables, prev=prev_tables
         )
         return cls(csr, tables)
+
+    @property
+    def nbytes(self) -> int:
+        """Array payload bytes (CSR + hub rows + the 8-byte/vertex id map).
+
+        What a shared-memory export of this plane must carry — the
+        attach-latency experiment (E21) plots against this.
+        """
+        return self.csr.nbytes + self.tables.nbytes + 8 * self.csr.num_vertices
 
     def __repr__(self) -> str:
         return f"DensePlane({self.csr!r}, {self.tables!r})"

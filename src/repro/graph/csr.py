@@ -28,7 +28,7 @@ from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from repro.errors import VertexNotFoundError
+from repro.errors import ConfigError, VertexNotFoundError
 from repro.graph.snapshot import GraphSnapshot
 
 
@@ -150,6 +150,55 @@ class CSRGraph:
             epoch=snapshot.epoch,
             dense_map=dense,
         )
+
+    @classmethod
+    def from_arrays(
+        cls,
+        indptr: np.ndarray,
+        indices: np.ndarray,
+        weights: np.ndarray,
+        vertex_ids: Sequence[int],
+        directed: bool,
+        epoch: int,
+        rev_indptr: Optional[np.ndarray] = None,
+        rev_indices: Optional[np.ndarray] = None,
+        rev_weights: Optional[np.ndarray] = None,
+    ) -> "CSRGraph":
+        """Adopt prebuilt CSR arrays by reference (no validation pass).
+
+        The shared-memory attach path: arrays are zero-copy views into a
+        mapped segment, so construction stays O(#buffers).  Undirected
+        callers omit the ``rev_*`` triple (backward aliases forward);
+        directed callers must supply all three.
+        """
+        if directed:
+            if rev_indptr is None or rev_indices is None or rev_weights is None:
+                raise ConfigError(
+                    "directed CSR adoption needs rev_indptr, rev_indices "
+                    "and rev_weights"
+                )
+        else:
+            rev_indptr, rev_indices, rev_weights = indptr, indices, weights
+        return cls(
+            indptr=indptr,
+            indices=indices,
+            weights=weights,
+            rev_indptr=rev_indptr,
+            rev_indices=rev_indices,
+            rev_weights=rev_weights,
+            vertex_ids=vertex_ids,
+            directed=directed,
+            epoch=epoch,
+        )
+
+    @property
+    def nbytes(self) -> int:
+        """Array payload bytes (forward plus any distinct backward arrays)."""
+        total = self.indptr.nbytes + self.indices.nbytes + self.weights.nbytes
+        if self.rev_indptr is not self.indptr:
+            total += (self.rev_indptr.nbytes + self.rev_indices.nbytes
+                      + self.rev_weights.nbytes)
+        return total
 
     def with_unit_weights(self) -> "CSRGraph":
         """A CSR over the same topology with every arc weight 1.0.

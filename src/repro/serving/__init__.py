@@ -1,0 +1,40 @@
+"""Multiprocess serving over shared frozen arrays.
+
+A published :class:`~repro.streaming.versioning.FrozenView`'s dense plane
+is nothing but flat numpy buffers — CSR ``indptr/indices/weights``, the id
+map, and the stacked hub cost matrices.  This package lays those buffers
+into named ``multiprocessing.shared_memory`` segments so N reader processes
+can *attach* (map, not copy) the newest published epoch and run the
+bit-identical ``_search_dense`` hot path against it, while one writer
+process keeps ingesting and publishing:
+
+* :mod:`repro.serving.shm_plane` — plane (de)serialization: one segment per
+  epoch, self-describing via an embedded manifest (dtype/shape/offset per
+  buffer), attach cost O(buffers) not O(V+E);
+* :mod:`repro.serving.epoch` — the handoff protocol: a tiny control segment
+  holding a slot table with per-plane refcounts; the writer registers fully
+  written segments and bumps a generation counter, readers re-attach by
+  name and the last detacher of a retired epoch unlinks it;
+* :mod:`repro.serving.pool` — :class:`WorkerPool` / :class:`ServeSession`:
+  request fan-out across reader processes, surfaced as
+  ``SGraph.serve(workers=N)`` and the ``repro serve`` CLI subcommand.
+"""
+
+from repro.serving.epoch import EpochBoard
+from repro.serving.pool import ServeSession, WorkerPool
+from repro.serving.shm_plane import (
+    PlaneGraph,
+    ShmPlane,
+    leaked_segments,
+    shm_available,
+)
+
+__all__ = [
+    "EpochBoard",
+    "PlaneGraph",
+    "ServeSession",
+    "ShmPlane",
+    "WorkerPool",
+    "leaked_segments",
+    "shm_available",
+]

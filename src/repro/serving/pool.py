@@ -1,0 +1,475 @@
+"""Reader-process fan-out: :class:`WorkerPool` and :class:`ServeSession`.
+
+The writer/readers split the paper's serving story needs: one process owns
+the live :class:`~repro.SGraph` and keeps ingesting; N reader processes
+attach the newest published plane from shared memory and answer
+``distance / distance_many / nearest / within`` requests with the
+bit-identical ``_search_dense`` hot path.  Requests and responses travel
+over two multiprocessing queues; per-query payloads are a few scalars plus
+a :class:`~repro.core.stats.QueryStats` — graphs are never pickled.
+
+Workers poll the epoch board's generation between requests: stale readers
+detach (releasing their refcount, possibly unlinking a retired plane) and
+re-attach the newest segment by name.  A request already being answered
+keeps using the plane it started on — in-flight queries finish on their
+starting epoch by construction.
+
+:class:`ServeSession` is the writer-side facade tying it together: it owns
+a :class:`~repro.streaming.versioning.VersionedStore`, exports every newly
+published epoch to shm, registers it on the board, and exposes blocking
+query helpers over the pool.  ``SGraph.serve(workers=N)`` constructs one.
+"""
+
+from __future__ import annotations
+
+import atexit
+import gc
+import itertools
+import multiprocessing as mp
+import os
+import queue as queue_mod
+import time
+from typing import Dict, List, NamedTuple, Optional, Sequence, Tuple
+
+from repro.errors import ConfigError, QueryError
+from repro.serving.epoch import EpochBoard
+from repro.serving.shm_plane import PlaneGraph, ShmPlane
+
+#: queries bundled per pool message — amortizes the ~100µs queue round-trip
+#: across enough sub-millisecond searches to keep workers compute-bound.
+DEFAULT_CHUNK = 32
+
+
+class Response(NamedTuple):
+    """One answered (or failed) request."""
+
+    req_id: int
+    worker_id: int
+    epoch: Optional[int]
+    ok: bool
+    payload: object
+
+
+def _dispatch(engine, plane, verb: str, payload):
+    if verb == "distance":
+        source, target, tolerance = payload
+        return engine.best_cost(source, target, tolerance=tolerance)
+    if verb == "distance_batch":
+        return [engine.best_cost(s, t) for s, t in payload]
+    if verb == "distance_many":
+        source, targets = payload
+        return engine.one_to_many(source, list(targets))
+    if verb in ("nearest", "within"):
+        from repro.core.engine import expand_from_csr
+
+        source, arg = payload
+        if source not in plane.csr.dense_map:
+            raise QueryError(f"query endpoint {source} is not in the graph")
+        if verb == "nearest":
+            return expand_from_csr(plane.csr, source, arg, None)
+        return expand_from_csr(plane.csr, source, None, arg)
+    raise QueryError(f"unknown verb {verb!r}")
+
+
+def _worker_main(worker_id: int, board_name: str, lock, requests, responses,
+                 policy_value: str) -> None:
+    """One reader process: attach newest plane, drain requests forever.
+
+    ``requests`` is this worker's *private* queue: a shared request queue
+    would leave its reader lock held forever if a sibling were SIGKILLed
+    mid-``get``, deadlocking every survivor.  The writer round-robins over
+    the private queues of workers it still believes alive.
+    """
+    from repro.core.engine import PairwiseEngine
+
+    board = EpochBoard.attach(board_name, lock)
+    held: Dict[str, Optional[tuple]] = {"plane": None}
+
+    def detach() -> None:
+        entry = held["plane"]
+        held["plane"] = None
+        if entry is None:
+            return
+        slot, handle = entry[1], entry[2]
+        # The engine and plane in the entry hold numpy views into the
+        # mapping; drop them (and any stray cycle) before closing it, or
+        # the munmap would be deferred to interpreter shutdown.
+        entry = None
+        gc.collect()
+        handle.close()
+        board.release(slot, worker_id=worker_id)
+
+    # Finalizer for exits that skip the normal loop teardown (unhandled
+    # signals short of SIGKILL, interpreter shutdown): the refcount must be
+    # returned or the writer would wait on a ghost reader.  SIGKILL itself
+    # is covered by the writer-side reap (EpochBoard.release_worker).
+    atexit.register(detach)
+
+    def current() -> Optional[tuple]:
+        entry = held["plane"]
+        if entry is not None and entry[0] == board.generation():
+            return entry
+        detach()
+        got = board.acquire(worker_id)
+        if got is None:
+            return None
+        generation, slot, epoch, seg_name = got
+        try:
+            handle = ShmPlane.attach(seg_name)
+        except FileNotFoundError:
+            board.release(slot, worker_id=worker_id)
+            return None
+        plane = handle.as_dense_plane()
+        engine = PairwiseEngine(
+            PlaneGraph(plane.csr), policy=policy_value, dense=plane,
+        )
+        entry = (generation, slot, handle, engine, plane, epoch)
+        held["plane"] = entry
+        return entry
+
+    try:
+        while True:
+            req = requests.get()
+            if req is None:
+                break
+            req_id, verb, payload = req
+            try:
+                entry = current()
+                if entry is None:
+                    raise QueryError("no epoch has been published yet")
+                result = _dispatch(entry[3], entry[4], verb, payload)
+                responses.put(Response(
+                    req_id, worker_id, entry[5], True, result,
+                ))
+            except Exception as exc:  # noqa: BLE001 - report, don't die
+                responses.put(Response(
+                    req_id, worker_id, None, False,
+                    f"{type(exc).__name__}: {exc}",
+                ))
+            finally:
+                # Keep held["plane"] the only reference to the attached
+                # plane between requests, so detach() can actually unmap.
+                entry = None
+    finally:
+        detach()
+        board.detach()
+
+
+class WorkerPool:
+    """N reader processes fed from one request queue."""
+
+    def __init__(self, ctx, workers: int, board_name: str, lock,
+                 policy_value: str) -> None:
+        if workers < 1:
+            raise ConfigError("workers must be >= 1")
+        self._requests = [ctx.Queue() for _ in range(workers)]
+        self._responses = ctx.Queue()
+        self._ids = itertools.count()
+        self._rr = itertools.count()  # round-robin cursor over alive workers
+        self._procs = [
+            ctx.Process(
+                target=_worker_main,
+                args=(i, board_name, lock, self._requests[i],
+                      self._responses, policy_value),
+                daemon=True,
+                name=f"repro-serve-{i}",
+            )
+            for i in range(workers)
+        ]
+        for proc in self._procs:
+            proc.start()
+
+    @property
+    def workers(self) -> int:
+        return len(self._procs)
+
+    def alive(self) -> List[int]:
+        return [i for i, p in enumerate(self._procs) if p.is_alive()]
+
+    def dead(self) -> List[int]:
+        return [i for i, p in enumerate(self._procs) if not p.is_alive()]
+
+    def submit(self, verb: str, payload) -> int:
+        """Enqueue one request on an alive worker; returns its id."""
+        alive = self.alive()
+        if not alive:
+            raise QueryError("all serving workers are dead")
+        target = alive[next(self._rr) % len(alive)]
+        req_id = next(self._ids)
+        self._requests[target].put((req_id, verb, payload))
+        return req_id
+
+    def gather(self, req_ids: Sequence[int],
+               timeout: Optional[float] = None) -> Dict[int, Response]:
+        """Collect responses for ``req_ids`` (best effort under a timeout).
+
+        Returns a dict keyed by request id; with a timeout the result may
+        be missing entries whose worker died mid-request — callers decide
+        whether to resubmit (reads are idempotent) or raise.
+        """
+        wanted = set(req_ids)
+        got: Dict[int, Response] = {}
+        deadline = None if timeout is None else time.monotonic() + timeout
+        while wanted:
+            remaining = None
+            if deadline is not None:
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    break
+            try:
+                resp = self._responses.get(timeout=remaining)
+            except queue_mod.Empty:
+                break
+            if resp.req_id in wanted:
+                wanted.discard(resp.req_id)
+                got[resp.req_id] = resp
+        return got
+
+    def kill_worker(self, worker_id: int) -> None:
+        """SIGKILL one worker (crash-injection hook for tests)."""
+        proc = self._procs[worker_id]
+        if proc.is_alive():
+            proc.kill()
+            proc.join(timeout=5)
+
+    def close(self, timeout: float = 5.0) -> None:
+        for i, proc in enumerate(self._procs):
+            if proc.is_alive():
+                self._requests[i].put(None)
+        deadline = time.monotonic() + timeout
+        for proc in self._procs:
+            proc.join(timeout=max(0.1, deadline - time.monotonic()))
+        for proc in self._procs:
+            if proc.is_alive():  # pragma: no cover - stuck worker
+                proc.terminate()
+                proc.join(timeout=1)
+        for q in self._requests + [self._responses]:
+            q.close()
+            q.cancel_join_thread()
+
+
+class ServeSession:
+    """Writer-side handle on a running multiprocess serving deployment.
+
+    Owns the version store, the shm exports, the epoch board, and the
+    worker pool.  Use as a context manager (or call :meth:`close`); an
+    ``atexit`` hook backstops sessions the caller forgot, so no segment
+    outlives the writer process.
+    """
+
+    def __init__(self, sgraph, workers: int = 2, store=None,
+                 capacity: int = 4, name_prefix: Optional[str] = None) -> None:
+        from repro.streaming.versioning import VersionedStore
+
+        config = sgraph.config
+        if "distance" not in config.queries:
+            raise ConfigError(
+                "serving needs the 'distance' family in SGraphConfig.queries"
+            )
+        if config.backend == "dict":
+            raise ConfigError(
+                "serving shares the dense plane; backend='dict' publishes none"
+            )
+        self._sgraph = sgraph
+        self._store = store if store is not None else VersionedStore(
+            sgraph, capacity=capacity
+        )
+        self._prefix = name_prefix or (
+            f"rp{os.getpid():x}-{os.urandom(3).hex()}-"
+        )
+        self._exports: Dict[int, ShmPlane] = {}
+        self._closed = False
+        ctx = mp.get_context(
+            "fork" if "fork" in mp.get_all_start_methods() else None
+        )
+        self._lock = ctx.Lock()
+        self._board = EpochBoard.create(
+            self._prefix + "board", num_workers=workers, lock=self._lock,
+        )
+        self._pool = WorkerPool(
+            ctx, workers, self._board.name, self._lock,
+            policy_value=config.policy.value,
+        )
+        self._unsubscribe = self._store.subscribe(self._on_publish)
+        atexit.register(self.close)
+        self.publish()
+
+    # -- introspection ------------------------------------------------------
+
+    @property
+    def prefix(self) -> str:
+        """Name prefix of every segment this session creates."""
+        return self._prefix
+
+    @property
+    def store(self):
+        return self._store
+
+    @property
+    def board(self) -> EpochBoard:
+        return self._board
+
+    @property
+    def pool(self) -> WorkerPool:
+        return self._pool
+
+    @property
+    def workers(self) -> int:
+        return self._pool.workers
+
+    def __enter__(self) -> "ServeSession":
+        return self
+
+    def __exit__(self, *_exc) -> None:
+        self.close()
+
+    # -- publishing ---------------------------------------------------------
+
+    def publish(self, label: Optional[str] = None):
+        """Publish the facade's current epoch and hand it to the readers.
+
+        Delegates to :meth:`VersionedStore.publish`; the store's publish
+        hook exports the new plane to a fresh shm segment and registers it
+        on the board (same-epoch republish is a no-op end to end).
+        """
+        return self._store.publish(label)
+
+    def _on_publish(self, view) -> None:
+        epoch = view.epoch
+        if epoch in self._exports or self._closed:
+            return
+        plane = view.dense_plane("distance")
+        name = f"{self._prefix}e{epoch}"
+        handle = ShmPlane.export(plane, name, epoch=epoch)
+        self._exports[epoch] = handle
+        self._board.register(name, epoch)
+
+    # -- queries ------------------------------------------------------------
+
+    def _one(self, verb: str, payload,
+             timeout: Optional[float] = None) -> Response:
+        if self._pool.dead():
+            self.reap()
+        req_id = self._pool.submit(verb, payload)
+        got = self._pool.gather([req_id], timeout=timeout)
+        if req_id not in got:
+            raise QueryError(
+                f"serving request timed out after {timeout}s "
+                f"(alive workers: {len(self._pool.alive())})"
+            )
+        resp = got[req_id]
+        if not resp.ok:
+            raise QueryError(f"worker {resp.worker_id} failed: {resp.payload}")
+        return resp
+
+    def distance(self, source: int, target: int, tolerance: float = 0.0,
+                 timeout: Optional[float] = None) -> Tuple[float, object, int]:
+        """One pairwise distance; returns ``(value, stats, epoch)``."""
+        resp = self._one("distance", (source, target, tolerance), timeout)
+        value, stats = resp.payload
+        return value, stats, resp.epoch
+
+    def distance_many(self, source: int, targets: Sequence[int],
+                      timeout: Optional[float] = None):
+        """One-to-many distances; returns ``(values, stats, epoch)``."""
+        resp = self._one("distance_many", (source, list(targets)), timeout)
+        values, stats = resp.payload
+        return values, stats, resp.epoch
+
+    def nearest(self, source: int, k: int,
+                timeout: Optional[float] = None):
+        """``(pairs, epoch)`` — the k nearest vertices at the served epoch."""
+        resp = self._one("nearest", (source, k), timeout)
+        return resp.payload, resp.epoch
+
+    def within(self, source: int, radius: float,
+               timeout: Optional[float] = None):
+        """``(pairs, epoch)`` — vertices within ``radius`` at the epoch."""
+        resp = self._one("within", (source, radius), timeout)
+        return resp.payload, resp.epoch
+
+    def map_distance(self, pairs: Sequence[Tuple[int, int]],
+                     chunk_size: int = DEFAULT_CHUNK,
+                     timeout: Optional[float] = None) -> List[tuple]:
+        """Fan a batch of ``(s, t)`` pairs across the pool, chunked.
+
+        Returns one ``(value, stats, epoch)`` per input pair, in input
+        order.  Chunks lost to a crashed worker are reaped and resubmitted
+        once (pure reads are idempotent); anything still missing raises.
+        """
+        if self._pool.dead():
+            self.reap()
+        chunks = [
+            list(pairs[i:i + chunk_size])
+            for i in range(0, len(pairs), chunk_size)
+        ]
+        answered: Dict[int, list] = {}
+
+        def run(indices) -> None:
+            dead_at_start = set(self._pool.dead())
+            req_map = {
+                self._pool.submit("distance_batch", chunks[ci]): ci
+                for ci in indices
+            }
+            pending = set(req_map)
+            deadline = (None if timeout is None
+                        else time.monotonic() + timeout)
+            while pending:
+                # Short waves instead of one blocking gather: a worker that
+                # dies holding a chunk would otherwise hang us forever.
+                responses = self._pool.gather(list(pending), timeout=0.25)
+                for req_id, resp in responses.items():
+                    if not resp.ok:
+                        raise QueryError(
+                            f"worker {resp.worker_id} failed: {resp.payload}"
+                        )
+                    answered[req_map[req_id]] = [
+                        (value, stats, resp.epoch)
+                        for value, stats in resp.payload
+                    ]
+                pending -= set(responses)
+                if not responses:
+                    if set(self._pool.dead()) - dead_at_start:
+                        return  # lost chunks — caller reaps and resubmits
+                    if not self._pool.alive():
+                        return  # nobody left to answer
+                    if (deadline is not None
+                            and time.monotonic() >= deadline):
+                        return
+
+        run(range(len(chunks)))
+        missing = [ci for ci in range(len(chunks)) if ci not in answered]
+        if missing and self._pool.dead():
+            self.reap()
+            run(missing)
+            missing = [ci for ci in range(len(chunks)) if ci not in answered]
+        if missing:
+            raise QueryError(f"serving chunks {missing} were never answered")
+        out: List[tuple] = []
+        for ci in range(len(chunks)):
+            out.extend(answered[ci])
+        return out
+
+    # -- lifecycle ----------------------------------------------------------
+
+    def reap(self) -> List[int]:
+        """Return the refcounts of dead workers to the board."""
+        dead = self._pool.dead()
+        for worker_id in dead:
+            self._board.release_worker(worker_id)
+        return dead
+
+    def close(self) -> None:
+        """Stop the pool and remove every segment this session created."""
+        if self._closed:
+            return
+        self._closed = True
+        self._unsubscribe()
+        self._pool.close()
+        for worker_id in range(self._pool.workers):
+            self._board.release_worker(worker_id)
+        for handle in self._exports.values():
+            handle.close()
+        self._exports = {}
+        self._board.shutdown()
+        atexit.unregister(self.close)

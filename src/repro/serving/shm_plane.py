@@ -1,0 +1,409 @@
+"""Dense-plane (de)serialization over named shared-memory segments.
+
+One :class:`~repro.core.hub_index.DensePlane` becomes one
+``multiprocessing.shared_memory`` segment laid out as::
+
+    [0:8)    uint64  manifest length L
+    [8:16)   uint64  data_start (aligned offset of the first buffer)
+    [16:16+L)        manifest JSON (epoch, directedness, hubs, buffer table)
+    [data_start:...) the buffers themselves, each at a 64-byte-aligned
+                     offset *relative to data_start*
+
+The manifest records ``{name: {dtype, shape, offset}}`` for every buffer —
+CSR ``indptr/indices/weights`` (plus the ``rev_*`` triple when directed),
+the dense→caller id map, and the stacked hub cost matrices ``F`` (and ``B``
+when directed) — so attaching needs nothing but the segment name: map the
+segment, parse the manifest, wrap each buffer in a zero-copy numpy view.
+Attach cost is O(#buffers); the O(V+E) work (list caches, residual rows) is
+deferred to first use exactly as on the in-process plane.
+
+Cleanup has three layers: explicit :meth:`ShmPlane.close`/``unlink``, the
+epoch board's refcounted unlink-on-last-detach (see
+:mod:`repro.serving.epoch`), and a module-level registry of every segment
+this process *created* that an ``atexit`` hook unlinks — so a crashed writer
+never strands segments in ``/dev/shm``.
+"""
+
+from __future__ import annotations
+
+import atexit
+import json
+import os
+import threading
+from typing import Dict, Iterator, List, Optional, Tuple
+
+import numpy as np
+
+from repro.errors import ConfigError
+
+try:  # pragma: no cover - exercised only where shm is missing entirely
+    from multiprocessing import resource_tracker, shared_memory
+except ImportError:  # pragma: no cover
+    resource_tracker = None
+    shared_memory = None
+
+try:  # pragma: no cover - POSIX-only fast path for tracker-free unlinks
+    import _posixshmem
+except ImportError:  # pragma: no cover
+    _posixshmem = None
+
+_ALIGN = 64
+_FORMAT_VERSION = 1
+
+# Every segment name this process created and has not yet unlinked.  The
+# atexit sweep below is the backstop for writers that die without running
+# their session teardown — /dev/shm must never accumulate orphans.
+_created: set = set()
+
+
+def _sweep_created() -> None:  # pragma: no cover - atexit path
+    for name in list(_created):
+        unlink_segment(name)
+
+
+atexit.register(_sweep_created)
+
+
+def shm_available() -> bool:
+    """Whether POSIX shared memory actually works on this platform."""
+    if shared_memory is None:
+        return False
+    try:
+        probe = shared_memory.SharedMemory(create=True, size=16)
+    except (OSError, ValueError):
+        return False
+    try:
+        probe.close()
+        probe.unlink()
+    except OSError:  # pragma: no cover
+        pass
+    return True
+
+
+def _untrack(name: str) -> None:
+    """Unregister a freshly *created* segment from the resource tracker.
+
+    CPython < 3.13 registers every ``SharedMemory`` object with the
+    resource tracker as if that process owned it (bpo-39959), and the
+    tracker would then unlink live segments whenever any process exits.
+    Ownership here is explicit — the refcount protocol and the atexit
+    sweep do the unlinking — so nothing this module creates stays
+    tracked.  Attaches go through :func:`_attach_segment`, which never
+    registers in the first place.
+    """
+    if resource_tracker is None:  # pragma: no cover
+        return
+    try:
+        resource_tracker.unregister("/" + name, "shared_memory")
+    except Exception:  # pragma: no cover - tracker variations across versions
+        pass
+
+
+_tracker_mutex = threading.Lock()
+
+
+def _attach_segment(name: str):
+    """Map an existing segment without any resource-tracker footprint.
+
+    Unregistering after the attach is not enough: the tracker daemon's
+    cache is a *set*, so two readers attaching the same segment collapse
+    into one registration and the second matching unregister raises
+    KeyError inside the daemon.  Suppressing the registration entirely
+    leaves nothing to unbalance.
+    """
+    if shared_memory is None:  # pragma: no cover
+        raise ConfigError("multiprocessing.shared_memory is unavailable")
+    if resource_tracker is None:  # pragma: no cover
+        return shared_memory.SharedMemory(name=name)
+    with _tracker_mutex:
+        original = resource_tracker.register
+        resource_tracker.register = lambda *args, **kwargs: None
+        try:
+            return shared_memory.SharedMemory(name=name)
+        finally:
+            resource_tracker.register = original
+
+
+def unlink_segment(name: str) -> bool:
+    """Unlink one segment by name; True when it existed.
+
+    Goes straight to ``shm_unlink`` where available — attaching just to
+    unlink would re-register the segment with the resource tracker.
+    """
+    _created.discard(name)
+    if _posixshmem is not None:
+        try:
+            _posixshmem.shm_unlink("/" + name)
+        except FileNotFoundError:
+            return False
+        return True
+    if shared_memory is None:  # pragma: no cover
+        return False
+    try:  # pragma: no cover - non-POSIX fallback
+        seg = shared_memory.SharedMemory(name=name)
+    except FileNotFoundError:  # pragma: no cover
+        return False
+    _untrack(name)  # pragma: no cover
+    try:  # pragma: no cover
+        seg.close()
+        seg.unlink()
+    except FileNotFoundError:  # pragma: no cover
+        pass
+    return True  # pragma: no cover
+
+
+def leaked_segments(prefix: str) -> List[str]:
+    """Names under ``/dev/shm`` starting with ``prefix`` (leak checking)."""
+    root = "/dev/shm"
+    if not os.path.isdir(root):  # pragma: no cover - non-POSIX fallback
+        return []
+    return sorted(e for e in os.listdir(root) if e.startswith(prefix))
+
+
+def _aligned(offset: int) -> int:
+    return (offset + _ALIGN - 1) // _ALIGN * _ALIGN
+
+
+class ShmPlane:
+    """One dense plane living in (or attached from) a shm segment.
+
+    Create with :meth:`export` (writer side — lays the plane's buffers into
+    a fresh segment) or :meth:`attach` (reader side — zero-copy views over
+    an existing segment).  :meth:`as_dense_plane` rebuilds a fully
+    functional :class:`~repro.core.hub_index.DensePlane` over the attached
+    arrays; the engine then runs the same flat-array search as in-process.
+    """
+
+    def __init__(self, shm, manifest: Dict, arrays: Dict[str, np.ndarray],
+                 created: bool) -> None:
+        self._shm = shm
+        self._manifest = manifest
+        self._arrays = arrays
+        self._created = created
+        self._plane = None
+
+    # -- construction -------------------------------------------------------
+
+    @classmethod
+    def export(cls, plane, name: str, epoch: Optional[int] = None) -> "ShmPlane":
+        """Serialize ``plane`` into a fresh segment called ``name``.
+
+        The segment is fully written before this returns, so registering its
+        name afterwards (the epoch board's job) can never expose a torn
+        plane to a reader.
+        """
+        if shared_memory is None:  # pragma: no cover
+            raise ConfigError("multiprocessing.shared_memory is unavailable")
+        csr = plane.csr
+        tables = plane.tables
+        F, B = tables._stacked()
+        buffers: List[Tuple[str, np.ndarray]] = [
+            ("indptr", csr.indptr),
+            ("indices", csr.indices),
+            ("weights", csr.weights),
+            ("ids", np.asarray(csr.ids, dtype=np.int64)),
+            ("F", np.ascontiguousarray(F)),
+        ]
+        if csr.directed:
+            buffers += [
+                ("rev_indptr", csr.rev_indptr),
+                ("rev_indices", csr.rev_indices),
+                ("rev_weights", csr.rev_weights),
+            ]
+            if B is not F:
+                buffers.append(("B", np.ascontiguousarray(B)))
+        table: Dict[str, Dict] = {}
+        offset = 0
+        for buf_name, arr in buffers:
+            offset = _aligned(offset)
+            table[buf_name] = {
+                "dtype": str(arr.dtype),
+                "shape": list(arr.shape),
+                "offset": offset,
+            }
+            offset += arr.nbytes
+        manifest = {
+            "version": _FORMAT_VERSION,
+            "epoch": int(csr.epoch if epoch is None else epoch),
+            "directed": bool(csr.directed),
+            "n": csr.num_vertices,
+            "hubs": [int(h) for h in tables.hubs],
+            "buffers": table,
+        }
+        mbytes = json.dumps(manifest, separators=(",", ":")).encode("ascii")
+        data_start = _aligned(16 + len(mbytes))
+        total = max(data_start + offset, 1)
+        shm = shared_memory.SharedMemory(create=True, size=total, name=name)
+        _created.add(name)
+        _untrack(name)
+        buf = shm.buf
+        np.frombuffer(buf, dtype=np.uint64, count=2)[:] = (
+            len(mbytes), data_start,
+        )
+        buf[16:16 + len(mbytes)] = mbytes
+        arrays: Dict[str, np.ndarray] = {}
+        for buf_name, arr in buffers:
+            spec = table[buf_name]
+            view = np.frombuffer(
+                buf, dtype=arr.dtype, count=arr.size,
+                offset=data_start + spec["offset"],
+            ).reshape(arr.shape)
+            view[...] = arr
+            arrays[buf_name] = view
+        return cls(shm, manifest, arrays, created=True)
+
+    @classmethod
+    def attach(cls, name: str) -> "ShmPlane":
+        """Map an existing segment and wrap its buffers in numpy views.
+
+        O(#buffers): no array is copied and no per-vertex work happens here.
+        The views are marked read-only — readers share the writer's bytes.
+        """
+        shm = _attach_segment(name)
+        buf = shm.buf
+        header = np.frombuffer(buf, dtype=np.uint64, count=2)
+        mlen, data_start = int(header[0]), int(header[1])
+        manifest = json.loads(bytes(buf[16:16 + mlen]).decode("ascii"))
+        if manifest.get("version") != _FORMAT_VERSION:
+            shm.close()
+            raise ConfigError(
+                f"segment {name!r} has format version "
+                f"{manifest.get('version')!r}, expected {_FORMAT_VERSION}"
+            )
+        arrays: Dict[str, np.ndarray] = {}
+        for buf_name, spec in manifest["buffers"].items():
+            count = 1
+            for dim in spec["shape"]:
+                count *= dim
+            view = np.frombuffer(
+                buf, dtype=np.dtype(spec["dtype"]), count=count,
+                offset=data_start + spec["offset"],
+            ).reshape(spec["shape"])
+            view.flags.writeable = False
+            arrays[buf_name] = view
+        return cls(shm, manifest, arrays, created=False)
+
+    # -- introspection ------------------------------------------------------
+
+    @property
+    def name(self) -> str:
+        return self._shm.name.lstrip("/")
+
+    @property
+    def epoch(self) -> int:
+        return self._manifest["epoch"]
+
+    @property
+    def directed(self) -> bool:
+        return self._manifest["directed"]
+
+    @property
+    def nbytes(self) -> int:
+        """Total segment size (header + manifest + buffers)."""
+        return self._shm.size
+
+    @property
+    def manifest(self) -> Dict:
+        return self._manifest
+
+    def arrays(self) -> Dict[str, np.ndarray]:
+        """The named buffer views (zero-copy into the segment)."""
+        return dict(self._arrays)
+
+    # -- plane reconstruction ----------------------------------------------
+
+    def as_dense_plane(self):
+        """A :class:`DensePlane` over the attached buffers (memoized).
+
+        The CSR adopts the views directly; hub tables adopt the stacked
+        matrices.  List caches (``out_lists`` / ``rows_as_lists``) build
+        lazily at first query, as everywhere else.
+        """
+        if self._plane is None:
+            from repro.core.hub_index import DenseHubTables, DensePlane
+            from repro.graph.csr import CSRGraph
+
+            a = self._arrays
+            directed = self.directed
+            csr = CSRGraph.from_arrays(
+                indptr=a["indptr"],
+                indices=a["indices"],
+                weights=a["weights"],
+                vertex_ids=a["ids"].tolist(),
+                directed=directed,
+                epoch=self.epoch,
+                rev_indptr=a.get("rev_indptr"),
+                rev_indices=a.get("rev_indices"),
+                rev_weights=a.get("rev_weights"),
+            )
+            F = a["F"]
+            B = a.get("B", F)
+            tables = DenseHubTables.from_matrices(
+                self._manifest["hubs"], F, B, ids=csr.ids, directed=directed,
+            )
+            self._plane = DensePlane(csr, tables)
+        return self._plane
+
+    # -- lifecycle ----------------------------------------------------------
+
+    def close(self) -> None:
+        """Drop the mapping (reader detach; creators keep the file alive).
+
+        Any plane/arrays handed out must be dropped by the caller first;
+        a still-exported buffer keeps the mapping open until GC.
+        """
+        self._plane = None
+        self._arrays = {}
+        try:
+            self._shm.close()
+        except BufferError:  # pragma: no cover - caller kept a view alive
+            pass
+
+    def unlink(self) -> None:
+        """Remove the segment from the system (creator-side cleanup)."""
+        unlink_segment(self.name)
+
+    def __repr__(self) -> str:
+        kind = "created" if self._created else "attached"
+        return (
+            f"ShmPlane({self.name!r}, epoch={self.epoch}, "
+            f"{self.nbytes} bytes, {kind})"
+        )
+
+
+class PlaneGraph:
+    """Minimal traversal-protocol adapter over an attached CSR.
+
+    Worker processes have no :class:`DynamicGraph` — only the plane.  The
+    engine needs ``has_vertex`` for endpoint validation (the dense search
+    itself walks the CSR directly); ``out_items``/``in_items`` complete the
+    protocol for any dict-path fallback, translating through the id map.
+    """
+
+    __slots__ = ("_csr",)
+
+    def __init__(self, csr) -> None:
+        self._csr = csr
+
+    @property
+    def directed(self) -> bool:
+        return self._csr.directed
+
+    @property
+    def num_vertices(self) -> int:
+        return self._csr.num_vertices
+
+    def has_vertex(self, vertex: int) -> bool:
+        return vertex in self._csr.dense_map
+
+    def out_items(self, vertex: int) -> Iterator[Tuple[int, float]]:
+        csr = self._csr
+        ids = csr.ids
+        for u, w in csr.out_arcs(csr.dense_id(vertex)):
+            yield ids[u], w
+
+    def in_items(self, vertex: int) -> Iterator[Tuple[int, float]]:
+        csr = self._csr
+        ids = csr.ids
+        for u, w in csr.in_arcs(csr.dense_id(vertex)):
+            yield ids[u], w

@@ -47,6 +47,16 @@ from repro.graph.snapshot import GraphSnapshot
 from repro.graph.views import UnitWeightView
 from repro.streaming.update import EdgeUpdate, UpdateKind
 
+#: ``backend="auto"`` crossover: the live facade switches a min-plus family
+#: to the dense plane once the workload looks query-heavy — at least this
+#: many queries per update interval (EMA), or this many queries since the
+#: last mutation.  Below the threshold the per-epoch dense rebuild would
+#: cost more than it saves, so auto stays on the dict path.
+AUTO_DENSE_QUERY_RATIO = 4.0
+#: EMA fold weight for the queries-per-interval estimate: each mutation
+#: closes an interval and folds its query count in at this weight.
+AUTO_EMA_WEIGHT = 0.5
+
 
 class SGraph:
     """Sub-second pairwise queries over an evolving graph.
@@ -81,6 +91,12 @@ class SGraph:
         # that lets each epoch's dense tables derive from the previous one.
         self._dense_serving: Dict[str, Tuple[int, PairwiseEngine]] = {}
         self._dense_planes: Dict[str, DensePlane] = {}
+        # backend="auto" crossover state: queries observed since the last
+        # mutation, and an EMA of queries-per-update-interval (folded each
+        # time the epoch moves; see _auto_fold).
+        self._auto_epoch: int = self._graph.epoch
+        self._auto_queries: int = 0
+        self._auto_ema: float = 0.0
         self._last_published_epoch: Optional[int] = None
         #: vertices settled by index maintenance for the last update applied
         self.last_maintenance_settled = 0
@@ -394,7 +410,7 @@ class SGraph:
                 f"{kind.value} path queries need the {family!r} family in "
                 f"SGraphConfig.queries (configured: {self._config.queries})"
             )
-        engine = self._engines[family]
+        engine = self._serving_engine(family)
         start = time.perf_counter()
         value, path, stats = engine.best_path(source, target)
         stats.elapsed = time.perf_counter() - start
@@ -543,35 +559,108 @@ class SGraph:
         Under ``backend="dense"`` (with the distance family configured)
         the expansion walks the per-epoch CSR slices of the dense serving
         plane instead of the live dict adjacency — same distances, flat
-        arrays.  Equidistant vertices may order differently between the
-        two planes (heap tie-breaking); distances always agree.
+        arrays.  ``backend="auto"`` does the same once the crossover
+        heuristic favors dense (the expansion counts as a query).
+        Equidistant vertices may order differently between the two planes
+        (heap tie-breaking); distances always agree.
         """
         graph = self._graph
         if not graph.has_vertex(source):
             raise QueryError(f"query endpoint {source} is not in the graph")
-        if (self._config.backend == "dense"
-                and "distance" in self._config.queries):
+        backend = self._config.backend
+        if (backend != "dict" and "distance" in self._config.queries
+                and (backend == "dense" or self._note_query())):
             self._ensure_indexes()
             plane = self._dense_engine("distance").dense_plane
             if plane is not None:
                 return expand_from_csr(plane.csr, source, max_results, radius)
         return expand_from_graph(graph, source, max_results, radius)
 
-    # -- dense serving (backend="dense") ------------------------------------------
+    # -- dense serving (backend="dense" / "auto") ---------------------------------
 
     def _serving_engine(self, family: str) -> PairwiseEngine:
-        """The engine answering value queries for ``family``.
+        """The engine answering queries for ``family``.
 
-        With ``backend="dense"`` the min-plus families are served by a
-        per-epoch dense engine (flat arrays over the current snapshot);
-        everything else — and every family under the other backends — uses
-        the live dict engine.  Value, budget, and one-to-many queries all
-        route through here; path queries stay on the dict engines (parent
-        maps need caller ids), which this method is not used for.
+        With ``backend="dense"`` the min-plus families are always served by
+        a per-epoch dense engine (flat arrays over the current snapshot).
+        With ``backend="auto"`` the same engine serves them once the
+        workload looks query-heavy (see :meth:`serving_backend`); under
+        heavy churn auto skips the per-epoch dense rebuild and stays on the
+        dict path.  Everything else — and every family under
+        ``backend="dict"`` — uses the live dict engine.  Value, path,
+        budget, and one-to-many queries all route through here.
         """
-        if self._config.backend == "dense" and family in ("distance", "hops"):
-            return self._dense_engine(family)
+        if family in ("distance", "hops"):
+            backend = self._config.backend
+            if backend == "dense" or (backend == "auto"
+                                      and self._note_query()):
+                return self._dense_engine(family)
         return self._engines[family]
+
+    def _auto_fold(self) -> Tuple[float, int]:
+        """Project the auto-crossover state to the current epoch.
+
+        Each mutation interval that closed since the last observation folds
+        its query count into the EMA; extra query-free intervals decay it.
+        Pure projection — callers commit by writing the state back.
+        """
+        ema, queries = self._auto_ema, self._auto_queries
+        gap = self.epoch - self._auto_epoch
+        if gap > 0:
+            w = AUTO_EMA_WEIGHT
+            ema = (1.0 - w) * ema + w * queries
+            # gap mutations closed gap intervals; the first carried
+            # `queries` queries, the other gap-1 carried none.  Cap the
+            # exponent — past ~60 halvings the decay is already total.
+            ema *= (1.0 - w) ** min(gap - 1, 60)
+            queries = 0
+        return ema, queries
+
+    def _note_query(self) -> bool:
+        """Record one query and decide dict vs dense for ``backend="auto"``.
+
+        Dense when the recent query:update ratio (EMA) or the current
+        run of uninterrupted queries reaches AUTO_DENSE_QUERY_RATIO.
+        """
+        ema, queries = self._auto_fold()
+        queries += 1
+        self._auto_epoch = self.epoch
+        self._auto_ema = ema
+        self._auto_queries = queries
+        return (ema >= AUTO_DENSE_QUERY_RATIO
+                or queries >= AUTO_DENSE_QUERY_RATIO)
+
+    def serving_backend(self, family: str = "distance") -> str:
+        """Which plane the *next* ``family`` query would be served from.
+
+        A non-destructive peek at the crossover decision — returns
+        ``"dense"`` or ``"dict"`` without recording a query.
+        """
+        if family not in ("distance", "hops"):
+            return "dict"
+        backend = self._config.backend
+        if backend in ("dense", "dict"):
+            return backend
+        ema, queries = self._auto_fold()
+        dense = (ema >= AUTO_DENSE_QUERY_RATIO
+                 or queries + 1 >= AUTO_DENSE_QUERY_RATIO)
+        return "dense" if dense else "dict"
+
+    def serve(self, workers: int = 2, store=None, capacity: int = 4):
+        """Serve this facade from ``workers`` reader processes over shm.
+
+        Exports each published epoch's dense plane into named shared-memory
+        segments and fans queries across N processes that *attach* (never
+        copy) the arrays; ingest through this facade continues concurrently
+        and each :meth:`~repro.serving.ServeSession.publish` hands readers
+        the new epoch.  Returns a :class:`repro.serving.ServeSession`
+        (usable as a context manager); requires the distance family and a
+        non-dict backend.
+        """
+        from repro.serving.pool import ServeSession
+
+        return ServeSession(self, workers=workers, store=store,
+                            capacity=capacity)
 
     def _dense_engine(self, family: str) -> PairwiseEngine:
         """Per-epoch dense-served engine for one min-plus family (memoized).

@@ -26,7 +26,7 @@ from __future__ import annotations
 
 import time
 from collections import OrderedDict
-from typing import Dict, Iterable, List, Optional, Tuple
+from typing import Callable, Dict, Iterable, List, Optional, Tuple
 
 from repro.core.engine import (
     PairwiseEngine,
@@ -81,6 +81,30 @@ class FrozenView:
                 f"family {family!r} was not indexed when this view was "
                 f"published; available: {sorted(self._engines)}"
             ) from None
+
+    def engine(self, family: str = "distance") -> PairwiseEngine:
+        """The frozen engine serving ``family`` at this epoch.
+
+        Public accessor for consumers that need engine internals — the shm
+        exporter reads its dense plane, benchmarks read its hub index to
+        build bit-identical dict references.
+        """
+        return self._engine(family)
+
+    def dense_plane(self, family: str = "distance") -> DensePlane:
+        """The dense plane serving ``family``, forcing the lazy build.
+
+        This is what the shm exporter lays into a segment: CSR arrays, hub
+        rows, and the id map of this epoch.  Raises :class:`ConfigError`
+        when the family is served dict-only (``backend="dict"``).
+        """
+        plane = self._engine(family).dense_plane
+        if plane is None:
+            raise ConfigError(
+                f"family {family!r} is not served by a dense plane at this "
+                "view (backend is dict-only)"
+            )
+        return plane
 
     def _run(self, kind: QueryKind, family: str, source: int,
              target: int) -> QueryResult:
@@ -199,6 +223,7 @@ class VersionedStore:
         # lets the next epoch's plane derive its CSR id space and hub rows
         # delta-proportionally instead of from scratch.
         self._planes: Dict[str, DensePlane] = {}
+        self._subscribers: List = []
 
     @property
     def capacity(self) -> int:
@@ -255,7 +280,26 @@ class VersionedStore:
         sg._note_published(epoch)
         while len(self._views) > self._capacity:
             self._views.popitem(last=False)
+        for callback in list(self._subscribers):
+            callback(view)
         return view
+
+    def subscribe(self, callback) -> "Callable[[], None]":
+        """Invoke ``callback(view)`` on every *new* publish.
+
+        Republishing an already-published epoch does not fire (the early
+        return above never reaches the callbacks), so subscribers see each
+        epoch at most once.  Returns an idempotent unsubscribe closure.
+        """
+        self._subscribers.append(callback)
+
+        def unsubscribe() -> None:
+            try:
+                self._subscribers.remove(callback)
+            except ValueError:
+                pass
+
+        return unsubscribe
 
     def _make_plane_factory(self, family, snapshot, hubs, fwd, bwd):
         """Lazy :class:`DensePlane` builder for one published family.

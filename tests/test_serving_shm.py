@@ -1,0 +1,254 @@
+"""Multiprocess shm serving: export/attach parity, epoch handoff, cleanup.
+
+The serving plane's contract is threefold: workers attached over shared
+memory answer *bit-identically* to the in-process dict reference (values
+and stats counters), every published epoch is handed off without torn
+reads or stale answers labeled with the wrong epoch, and no shm segment
+outlives the session — including when a worker is SIGKILLed mid-query.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+
+import pytest
+
+from repro.core.config import SGraphConfig
+from repro.core.engine import PairwiseEngine
+from repro.core.pruning import PruningPolicy
+from repro.graph.dynamic_graph import DynamicGraph
+from repro.serving import PlaneGraph, ShmPlane, leaked_segments, shm_available
+from repro.sgraph import SGraph
+from repro.streaming.versioning import VersionedStore
+
+pytestmark = [
+    pytest.mark.shm,
+    pytest.mark.skipif(not shm_available(),
+                       reason="POSIX shared memory unavailable"),
+]
+
+
+def _random_graph(seed: int, directed: bool = False, n: int = 60,
+                  m: int = 180) -> DynamicGraph:
+    rng = random.Random(seed)
+    g = DynamicGraph(directed=directed)
+    for v in range(n):
+        g.add_vertex(v)
+    added = 0
+    while added < m:
+        u, v = rng.randrange(n - 3), rng.randrange(n - 3)
+        if u == v or g.has_edge(u, v):
+            continue
+        g.add_edge(u, v, rng.uniform(0.5, 3.0))
+        added += 1
+    return g
+
+
+def _sgraph(seed: int, directed: bool = False) -> SGraph:
+    return SGraph(graph=_random_graph(seed, directed),
+                  config=SGraphConfig(num_hubs=6, queries=("distance",)))
+
+
+def _stats_tuple(stats):
+    return (
+        stats.activations,
+        stats.pushes,
+        stats.relaxations,
+        stats.pruned_by_upper_bound,
+        stats.pruned_by_lower_bound,
+        stats.answered_by_index,
+    )
+
+
+def _dict_reference(view, policy=PruningPolicy.UPPER_AND_LOWER):
+    """An index-backed dict engine over the view's frozen snapshot."""
+    return PairwiseEngine(
+        view.snapshot,
+        index=view.engine("distance").index,
+        policy=policy,
+    )
+
+
+class TestShmPlaneRoundTrip:
+    @pytest.mark.parametrize("directed", [False, True])
+    def test_export_attach_parity(self, directed):
+        sg = _sgraph(11, directed)
+        store = VersionedStore(sg)
+        view = store.publish()
+        plane = view.dense_plane("distance")
+        name = f"rptest-rt{int(directed)}"
+        exported = ShmPlane.export(plane, name, epoch=view.epoch)
+        try:
+            attached = ShmPlane.attach(name)
+            assert attached.epoch == view.epoch
+            assert attached.directed == directed
+            remote = attached.as_dense_plane()
+            engine = PairwiseEngine(
+                PlaneGraph(remote.csr),
+                policy=PruningPolicy.UPPER_AND_LOWER,
+                dense=remote,
+            )
+            reference = _dict_reference(view)
+            rng = random.Random(5)
+            verts = sorted(sg.graph.vertices())
+            for _ in range(40):
+                s, t = rng.sample(verts, 2)
+                value, stats = engine.best_cost(s, t)
+                ref_value, ref_stats = reference.best_cost(s, t)
+                assert value == ref_value
+                assert _stats_tuple(stats) == _stats_tuple(ref_stats)
+            engine = remote = None  # drop views before unmapping
+            attached.close()
+        finally:
+            exported.close()
+            exported.unlink()
+        assert leaked_segments(name) == []
+
+    def test_attach_is_zero_copy(self):
+        sg = _sgraph(12)
+        store = VersionedStore(sg)
+        view = store.publish()
+        name = "rptest-zc"
+        exported = ShmPlane.export(view.dense_plane("distance"), name)
+        try:
+            attached = ShmPlane.attach(name)
+            arrays = attached.arrays()
+            assert all(not a.flags.writeable for a in arrays.values())
+            # mutate through the writer's view; the reader sees it (shared
+            # bytes, not a pickle round-trip)
+            exported.arrays()["weights"][0] = 99.5
+            assert arrays["weights"][0] == 99.5
+            arrays = None  # drop views before unmapping
+            attached.close()
+        finally:
+            exported.close()
+            exported.unlink()
+
+
+class TestServeSessionParity:
+    def test_pool_matches_dict_reference(self):
+        sg = _sgraph(21)
+        with sg.serve(workers=2) as session:
+            prefix = session.prefix
+            view = session.store.latest()
+            reference = _dict_reference(view)
+            rng = random.Random(9)
+            verts = sorted(sg.graph.vertices())
+            pairs = [tuple(rng.sample(verts, 2)) for _ in range(80)]
+            answers = session.map_distance(pairs)
+            for (s, t), (value, stats, epoch) in zip(pairs, answers):
+                ref_value, ref_stats = reference.best_cost(s, t)
+                assert value == ref_value
+                assert _stats_tuple(stats) == _stats_tuple(ref_stats)
+                assert epoch == view.epoch
+        assert leaked_segments(prefix) == []
+
+    def test_batched_and_expansion_verbs(self):
+        sg = _sgraph(22)
+        with sg.serve(workers=2) as session:
+            view = session.store.latest()
+            values, stats, epoch = session.distance_many(0, list(range(1, 30)))
+            assert values == view.distance_many(0, list(range(1, 30)))
+            nn, _ = session.nearest(0, 5)
+            assert [d for _, d in nn] == [d for _, d in view.nearest(0, 5)]
+            within, _ = session.within(0, 2.5)
+            assert sorted(within) == sorted(view.within(0, 2.5))
+
+    def test_unreachable_and_bad_endpoint(self):
+        sg = _sgraph(23)
+        with sg.serve(workers=1) as session:
+            # 57..59 are isolated vertices: finite graph, infinite distance
+            value, _stats, _epoch = session.distance(0, 58)
+            assert value == math.inf
+            from repro.errors import QueryError
+            with pytest.raises(QueryError):
+                session.distance(0, 10**9)
+
+
+class TestEpochHandoff:
+    def test_three_epoch_handoff_no_torn_reads(self):
+        """Workers keep answering while the writer publishes 3 epochs; every
+        answer must match the dict reference *of the epoch it reports*."""
+        sg = _sgraph(31)
+        rng = random.Random(13)
+        verts = sorted(sg.graph.vertices())
+        with sg.serve(workers=2) as session:
+            prefix = session.prefix
+            references = {
+                session.store.latest().epoch:
+                    _dict_reference(session.store.latest())
+            }
+            served_epochs = set()
+            for round_no in range(3):
+                for _ in range(30):
+                    s, t = rng.sample(verts, 2)
+                    value, stats, epoch = session.distance(s, t)
+                    assert epoch in references
+                    ref_value, ref_stats = references[epoch].best_cost(s, t)
+                    assert value == ref_value
+                    assert _stats_tuple(stats) == _stats_tuple(ref_stats)
+                    served_epochs.add(epoch)
+                # writer ingests and publishes a new epoch mid-serve
+                u, v = rng.sample(verts[:40], 2)
+                sg.add_edge(u, v, rng.uniform(0.1, 0.4))
+                view = session.publish()
+                references[view.epoch] = _dict_reference(view)
+            # drain one more batch on the final epoch
+            final_epoch = session.store.latest().epoch
+            for _ in range(10):
+                s, t = rng.sample(verts, 2)
+                _value, _stats, epoch = session.distance(s, t)
+                served_epochs.add(epoch)
+            assert final_epoch in served_epochs
+            assert len(served_epochs) >= 2  # handoff actually happened
+        assert leaked_segments(prefix) == []
+
+    def test_retired_plane_unlinked_after_reattach(self):
+        sg = _sgraph(32)
+        with sg.serve(workers=1) as session:
+            prefix = session.prefix
+            first = session.board.current_epoch()
+            session.distance(0, 1)  # worker now holds epoch `first`
+            sg.add_edge(0, 55, 0.2)
+            session.publish()
+            session.distance(0, 55)  # forces detach old / attach new
+            names = [name for _slot, name, _e, _rc, _st in
+                     session.board.slots()]
+            assert f"{prefix}e{first}" not in names
+            assert leaked_segments(f"{prefix}e{first}") == []
+        assert leaked_segments(prefix) == []
+
+
+class TestWorkerCrash:
+    def test_killed_worker_leaves_no_segments(self):
+        sg = _sgraph(41)
+        rng = random.Random(17)
+        verts = sorted(sg.graph.vertices())
+        with sg.serve(workers=2) as session:
+            prefix = session.prefix
+            pairs = [tuple(rng.sample(verts, 2)) for _ in range(60)]
+            before = session.map_distance(pairs)
+            session.pool.kill_worker(0)
+            assert session.pool.dead() == [0]
+            # map_distance reaps the corpse and resubmits lost chunks
+            after = session.map_distance(pairs)
+            assert [a[0] for a in after] == [b[0] for b in before]
+            # the dead worker's board refcount was returned
+            assert all(refcount <= 1 for _s, _n, _e, refcount, _st
+                       in session.board.slots())
+        assert leaked_segments(prefix) == []
+
+    def test_crash_then_publish_still_hands_off(self):
+        sg = _sgraph(42)
+        with sg.serve(workers=2) as session:
+            prefix = session.prefix
+            session.distance(0, 1)
+            session.pool.kill_worker(1)
+            session.reap()
+            sg.add_edge(0, 56, 0.3)
+            session.publish()
+            value, _stats, epoch = session.distance(0, 56)
+            assert value == pytest.approx(0.3)
+            assert epoch == session.store.latest().epoch
+        assert leaked_segments(prefix) == []
