@@ -1,0 +1,74 @@
+"""E22 — TCP plane transport: loopback overhead + fetch-on-publish cost.
+
+Claim reproduced (shape): moving the serving plane across a socket instead
+of a shared-memory mapping costs one payload fetch per (reader, epoch) —
+never per query.  Readers cache each fetched plane by digest and run the
+bit-identical ``_search_dense`` hot path locally, so steady-state
+throughput tracks the shm pool and the transport gap shows up only in the
+publish→remote-visibility latency rows.
+
+Three assertions, in decreasing universality:
+
+* correctness is unconditional — every TCP pool answer (value and all six
+  stats counters) matches a single-process reference engine at the final
+  epoch, teardown leaks nothing, and the server's fetch counters show
+  every plane crossed the socket exactly once per reader;
+* loopback overhead is bounded — with queries off the socket the TCP pool
+  may not run more than 5x the shm pool over the identical
+  query/ingest/publish schedule (generous: the observed gap is 1.0-1.3x);
+* a cached re-acquire ships zero payload bytes, so the warm ``refresh()``
+  poll must be cheaper than the cold fetch+decode path (floored at 1ms so
+  sub-millisecond jitter cannot flake the run).
+
+``REPRO_E22_WORKERS`` (comma list, e.g. ``1,2``) caps the sweep for smoke
+runs.
+"""
+
+from benchmarks.conftest import run_rows
+from repro.bench.experiments import run_e22_net_serving
+from repro.serving import shm_available
+from repro.serving.net import net_available
+
+import pytest
+
+pytestmark = pytest.mark.skipif(
+    not net_available(), reason="loopback TCP sockets unavailable"
+)
+
+
+def test_e22_net_serving_table(benchmark):
+    rows = run_rows(
+        benchmark, run_e22_net_serving,
+        "E22 — TCP plane transport",
+    )
+    tcp_rows = [r for r in rows if r["mode"] == "tcp-pool"]
+    visibility_rows = [r for r in rows if r["mode"] == "visibility"]
+    assert tcp_rows and visibility_rows
+
+    # Unconditional: bit-identical answers, zero leaks, and exactly one
+    # socket crossing per (reader, plane) at every worker count.
+    for row in tcp_rows:
+        answered, total = map(int, row["parity"].split("/"))
+        assert answered == total, (
+            f"{row['dataset']} x{row['workers']}: {row['parity']} parity"
+        )
+        assert row["leaked"] == 0
+        assert row["fetches"] == "max 1/plane", row["fetches"]
+
+    # Queries never touch the socket, so the TCP pool runs the identical
+    # schedule within a small factor of the shm pool (when shm exists to
+    # compare against).
+    if shm_available():
+        for row in tcp_rows:
+            assert row["overhead"] <= 5.0, (
+                f"{row['dataset']} x{row['workers']}: "
+                f"tcp/shm overhead {row['overhead']}"
+            )
+
+    # Fetch-on-publish: the cold refresh pays poll + fetch + verify +
+    # decode once; the warm refresh is a single control message.
+    for row in visibility_rows:
+        assert row["cached_poll_ms"] <= max(row["fetch_refresh_ms"], 1.0), (
+            f"cached poll {row['cached_poll_ms']}ms slower than cold "
+            f"fetch {row['fetch_refresh_ms']}ms"
+        )

@@ -1056,6 +1056,173 @@ def run_e21_shm_serving(
 
 
 # ---------------------------------------------------------------------------
+# E22 (extension) — TCP plane transport: loopback overhead + fetch-on-publish
+# ---------------------------------------------------------------------------
+
+def run_e22_net_serving(
+    worker_counts: Optional[Sequence[int]] = None,
+    num_pairs: int = 128,
+    ingest_rounds: int = 3,
+    updates_per_round: int = 20,
+) -> List[Row]:
+    """The cost of crossing a socket instead of mapping a segment.
+
+    Per dataset: the identical query/ingest/publish schedule runs over a
+    shm-transport pool and a loopback TCP-transport pool; the ``overhead``
+    column is the TCP/shm elapsed ratio (both pools run the same
+    ``_search_dense`` hot path on locally held planes, so the gap is pure
+    transport: fetch-on-publish payload shipping plus the per-query
+    control-message-free round-robin — queries themselves never touch the
+    socket).  An untimed parity pass at the final epoch checks every TCP
+    answer — value AND the six stats counters — against a dict-free
+    reference engine; ``fetches`` audits the server's per-reader fetch
+    counters (each plane must cross the socket exactly once per reader).
+
+    The visibility rows measure the fetch-on-publish handoff itself: an
+    attached remote :class:`~repro.serving.net.NetReader` times
+    ``refresh()`` — generation poll, acquire, payload fetch, digest
+    verify, decode — right after each publish.  That is the full
+    publish→remote-visibility latency; planes already cached re-acquire
+    with zero payload bytes.  ``REPRO_E22_WORKERS`` (a comma list)
+    overrides the worker counts — CI smoke uses ``1,2``.
+    """
+    from repro.serving import leaked_segments, shm_available
+    from repro.serving.net import NetReader, net_available
+
+    if not net_available():  # pragma: no cover - socketless sandboxes only
+        return [{"dataset": "-", "workers": 0, "mode": "unavailable"}]
+    if worker_counts is None:
+        env = os.environ.get("REPRO_E22_WORKERS", "")
+        parsed = tuple(int(x) for x in env.split(",") if x.strip())
+        worker_counts = parsed or (2,)
+
+    rows: List[Row] = []
+    for dataset in ("social-pl", "road-grid"):
+        pairs = [tuple(p) for p in build_workload(
+            dataset, num_pairs=num_pairs,
+            hub_strategy=_strategy_for(dataset),
+        ).pairs]
+        batches = [pairs[i::ingest_rounds] for i in range(ingest_rounds)]
+        plan_rng = random.Random(31)
+        verts = sorted(load_dataset(dataset).vertices())
+        plan = [
+            [(plan_rng.choice(verts), plan_rng.choice(verts),
+              plan_rng.uniform(0.5, 2.0))
+             for _ in range(updates_per_round)]
+            for _ in range(ingest_rounds)
+        ]
+
+        def fresh_sgraph() -> SGraph:
+            return SGraph(graph=load_dataset(dataset), config=SGraphConfig(
+                num_hubs=16, hub_strategy=_strategy_for(dataset),
+                queries=("distance",),
+            ))
+
+        for workers in worker_counts:
+            elapsed_by_transport: Dict[str, float] = {}
+            transports = (["shm"] if shm_available() else []) + ["tcp"]
+            for transport in transports:
+                sg = fresh_sgraph()
+                session = sg.serve(workers=workers, transport=transport)
+                prefix = session.prefix
+                try:
+                    start = time.perf_counter()
+                    for round_no in range(ingest_rounds):
+                        session.map_distance(batches[round_no])
+                        for u, v, w in plan[round_no]:
+                            if u != v:
+                                sg.add_edge(u, v, w)
+                        session.publish()
+                    elapsed = time.perf_counter() - start
+                    elapsed_by_transport[transport] = elapsed
+
+                    # untimed parity pass at the final epoch
+                    final = session.store.latest()
+                    reference = PairwiseEngine(
+                        final.snapshot, index=final.engine("distance").index,
+                        policy=PruningPolicy.UPPER_AND_LOWER,
+                    )
+                    sample = pairs[:48]
+                    matches = 0
+                    for (s, t), (value, stats, epoch) in zip(
+                            sample, session.map_distance(sample)):
+                        ref_value, ref_stats = reference.best_cost(s, t)
+                        matches += (
+                            value == ref_value and epoch == final.epoch
+                            and stats.activations == ref_stats.activations
+                            and stats.pushes == ref_stats.pushes
+                            and stats.relaxations == ref_stats.relaxations
+                            and (stats.pruned_by_upper_bound
+                                 == ref_stats.pruned_by_upper_bound)
+                            and (stats.pruned_by_lower_bound
+                                 == ref_stats.pruned_by_lower_bound)
+                            and (stats.answered_by_index
+                                 == ref_stats.answered_by_index)
+                        )
+                    fetches = "-"
+                    if transport == "tcp":
+                        counts = session.transport.server.fetch_counts()
+                        per_plane = [
+                            n for per_digest in counts.values()
+                            for n in per_digest.values()
+                        ]
+                        fetches = (f"max {max(per_plane)}/plane"
+                                   if per_plane else "none")
+                finally:
+                    session.close()
+                shm_elapsed = elapsed_by_transport.get("shm")
+                rows.append({
+                    "dataset": dataset, "workers": workers,
+                    "mode": f"{transport}-pool", "queries": num_pairs,
+                    "elapsed_s": round(elapsed, 3),
+                    "qps": round(num_pairs / elapsed, 1),
+                    "overhead": (round(elapsed / shm_elapsed, 2)
+                                 if shm_elapsed else "-"),
+                    "parity": f"{matches}/{len(sample)}",
+                    "fetches": fetches,
+                    "leaked": len(leaked_segments(prefix)),
+                })
+
+    # -- publish → remote-visibility latency (fetch-on-publish cost) -----
+    sg = SGraph(graph=load_dataset("social-pl"), config=SGraphConfig(
+        num_hubs=16, hub_strategy=_strategy_for("social-pl"),
+        queries=("distance",),
+    ))
+    mut_rng = random.Random(37)
+    verts = sorted(sg.graph.vertices())
+    session = sg.serve(workers=1, transport="tcp")
+    try:
+        reader = NetReader(session.transport.address)
+        try:
+            reader.refresh()  # adopt (and fetch) the first epoch untimed
+            cold, warm = [], []
+            for _ in range(4):
+                u, v = mut_rng.sample(verts, 2)
+                sg.add_edge(u, v, mut_rng.uniform(0.5, 2.0))
+                session.publish()
+                t0 = time.perf_counter()
+                reader.refresh()  # poll + acquire + fetch + verify + decode
+                cold.append(time.perf_counter() - t0)
+                t0 = time.perf_counter()
+                reader.refresh()  # same generation: one poll, no payload
+                warm.append(time.perf_counter() - t0)
+            plane = session.store.latest().dense_plane("distance")
+            from repro.serving.codec import encoded_size
+
+            rows.append({
+                "dataset": "social-pl", "workers": 1, "mode": "visibility",
+                "plane_mb": round(encoded_size(plane) / 2 ** 20, 2),
+                "fetch_refresh_ms": _ms(sorted(cold)[len(cold) // 2]),
+                "cached_poll_ms": _ms(sorted(warm)[len(warm) // 2]),
+            })
+        finally:
+            reader.close()
+    finally:
+        session.close()
+    return rows
+
+
+# ---------------------------------------------------------------------------
 
 ALL_EXPERIMENTS: Dict[str, Callable[[], List[Row]]] = {
     "E1 datasets": run_e1_datasets,
@@ -1079,6 +1246,7 @@ ALL_EXPERIMENTS: Dict[str, Callable[[], List[Row]]] = {
     "E19 backend": run_e19_backend,
     "E20 many backend": run_e20_many_backend,
     "E21 shm serving": run_e21_shm_serving,
+    "E22 net serving": run_e22_net_serving,
 }
 
 

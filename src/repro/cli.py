@@ -7,6 +7,8 @@ Usage (also available as ``python -m repro.cli``)::
     repro query social-pl 3 1542        # run one pairwise query
     repro many social-pl 3 1542 97 210  # one-to-many from a published view
     repro serve social-pl --workers 2   # multiprocess shm serving demo
+    repro serve social-pl --transport tcp  # + TCP plane server for remotes
+    repro attach 127.0.0.1:4702         # remote reader over TCP
     repro experiment e2                 # regenerate one experiment table
     repro experiment all                # regenerate every table
 """
@@ -170,7 +172,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     from repro.serving import leaked_segments, shm_available
     from repro.streaming.workload import query_stream
 
-    if not shm_available():
+    if args.transport == "shm" and not shm_available():
         print("POSIX shared memory is unavailable on this platform",
               file=sys.stderr)
         return 1
@@ -183,10 +185,17 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     pairs = list(query_stream(graph, args.queries, seed=7))
     verts = sorted(graph.vertices())
     rng = random.Random(11)
-    with sg.serve(workers=args.workers) as session:
+    options = {}
+    if args.transport == "tcp":
+        options = {"host": args.host, "port": args.port}
+    with sg.serve(workers=args.workers, transport=args.transport,
+                  chunk=args.chunk, **options) as session:
         prefix = session.prefix
         print(f"serving {args.dataset} with {args.workers} worker "
-              f"process(es) over shm segments {prefix}*")
+              f"process(es) over {session.transport.describe()}")
+        if args.transport == "tcp":
+            print(f"  remote readers: repro attach "
+                  f"{session.transport.address}")
         for round_no in range(args.rounds):
             start = time.perf_counter()
             answers = session.map_distance(pairs)
@@ -205,6 +214,38 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     leaked = leaked_segments(prefix)
     print(f"closed: {len(leaked)} leaked shm segment(s)")
     return 1 if leaked else 0
+
+
+def _cmd_attach(args: argparse.Namespace) -> int:
+    import random
+    import time
+
+    from repro.serving.net import NetReader
+
+    with NetReader(args.address, cache_planes=args.cache_planes) as reader:
+        epoch = reader.refresh()
+        if epoch is None:
+            print(f"attached to {args.address}: nothing published yet",
+                  file=sys.stderr)
+            return 1
+        print(f"attached to {args.address} as reader "
+              f"{reader.client.reader_id}, serving epoch {epoch}")
+        verts = reader.vertices()
+        rng = random.Random(13)
+        for round_no in range(args.rounds):
+            start = time.perf_counter()
+            hits = 0
+            for _ in range(args.queries):
+                s, t = rng.choice(verts), rng.choice(verts)
+                _value, stats, epoch = reader.distance(s, t)
+                hits += stats.answered_by_index
+            elapsed = time.perf_counter() - start
+            print(f"  round {round_no}: {args.queries} queries in "
+                  f"{1e3 * elapsed:.1f} ms "
+                  f"({args.queries / elapsed:.0f} q/s) @ epoch {epoch}, "
+                  f"{hits} from index")
+            time.sleep(args.pause)
+    return 0
 
 
 def _cmd_experiment(args: argparse.Namespace) -> int:
@@ -302,7 +343,7 @@ def build_parser() -> argparse.ArgumentParser:
     replay.set_defaults(fn=_cmd_replay)
 
     serve = sub.add_parser(
-        "serve", help="serve a dataset from a multiprocess shm worker pool"
+        "serve", help="serve a dataset from a multiprocess worker pool"
     )
     serve.add_argument("dataset", choices=dataset_names())
     serve.add_argument("--workers", type=int, default=2)
@@ -315,11 +356,36 @@ def build_parser() -> argparse.ArgumentParser:
                        help="query/ingest/publish rounds to run")
     serve.add_argument("--updates", type=int, default=20,
                        help="edge updates ingested between rounds")
+    serve.add_argument("--transport", default="shm", choices=["shm", "tcp"],
+                       help="plane transport: shm segments or a TCP "
+                            "plane server remote readers can attach to")
+    serve.add_argument("--chunk", type=int, default=None,
+                       help="queries bundled per pool message")
+    serve.add_argument("--host", default="127.0.0.1",
+                       help="bind address for --transport tcp")
+    serve.add_argument("--port", type=int, default=0,
+                       help="bind port for --transport tcp (0 = ephemeral)")
     serve.set_defaults(fn=_cmd_serve)
+
+    attach = sub.add_parser(
+        "attach", help="attach a standalone reader to a TCP plane server"
+    )
+    attach.add_argument("address", help="writer address, host:port "
+                                        "(printed by repro serve "
+                                        "--transport tcp)")
+    attach.add_argument("--queries", type=int, default=64,
+                        help="random pairwise queries per round")
+    attach.add_argument("--rounds", type=int, default=3,
+                        help="query rounds to run before detaching")
+    attach.add_argument("--pause", type=float, default=0.0,
+                        help="seconds to sleep between rounds")
+    attach.add_argument("--cache-planes", type=int, default=4,
+                        help="decoded planes kept in the local LRU cache")
+    attach.set_defaults(fn=_cmd_attach)
 
     experiment = sub.add_parser("experiment",
                                 help="regenerate an experiment table")
-    experiment.add_argument("id", help="e1..e21, or 'all'")
+    experiment.add_argument("id", help="e1..e22, or 'all'")
     experiment.add_argument("--backend", default="auto",
                             choices=["auto", "dense", "dict"],
                             help="serving plane for backend-aware experiments")

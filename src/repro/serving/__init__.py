@@ -1,40 +1,72 @@
-"""Multiprocess serving over shared frozen arrays.
+"""Multiprocess serving over published dense planes.
 
 A published :class:`~repro.streaming.versioning.FrozenView`'s dense plane
 is nothing but flat numpy buffers — CSR ``indptr/indices/weights``, the id
-map, and the stacked hub cost matrices.  This package lays those buffers
-into named ``multiprocessing.shared_memory`` segments so N reader processes
-can *attach* (map, not copy) the newest published epoch and run the
-bit-identical ``_search_dense`` hot path against it, while one writer
-process keeps ingesting and publishing:
+map, and the stacked hub cost matrices.  This package ships those buffers
+to N reader processes that run the bit-identical ``_search_dense`` hot
+path against them while one writer process keeps ingesting and
+publishing.  Three layers:
 
-* :mod:`repro.serving.shm_plane` — plane (de)serialization: one segment per
-  epoch, self-describing via an embedded manifest (dtype/shape/offset per
-  buffer), attach cost O(buffers) not O(V+E);
-* :mod:`repro.serving.epoch` — the handoff protocol: a tiny control segment
-  holding a slot table with per-plane refcounts; the writer registers fully
-  written segments and bumps a generation counter, readers re-attach by
-  name and the last detacher of a retired epoch unlinks it;
-* :mod:`repro.serving.pool` — :class:`WorkerPool` / :class:`ServeSession`:
-  request fan-out across reader processes, surfaced as
-  ``SGraph.serve(workers=N)`` and the ``repro serve`` CLI subcommand.
+* :mod:`repro.serving.codec` — the byte format: one self-describing blob
+  per plane (embedded manifest, 64-byte-aligned buffers), decode cost
+  O(buffers) not O(V+E).  Both transports speak it.
+* :mod:`repro.serving.registry` — the epoch-handoff protocol: a slot table
+  with per-plane refcounts and FREE/LIVE/RETIRED states; the writer
+  registers fully materialized planes and bumps a generation counter,
+  readers acquire/release by slot and dead readers are reaped.
+  :class:`~repro.serving.epoch.EpochBoard` lays the table into shared
+  memory; :class:`~repro.serving.registry.LocalRegistry` keeps it behind a
+  thread lock for the TCP server.
+* :mod:`repro.serving.transport` — where the bytes live:
+  :class:`~repro.serving.transport.ShmTransport` encodes each plane into a
+  named segment readers map zero-copy
+  (:mod:`repro.serving.shm_plane`); :class:`~repro.serving.net.NetTransport`
+  announces each publish over length-prefixed TCP and remote readers fetch
+  the payload once into a digest-verified local cache
+  (fetch-on-publish).
+
+:mod:`repro.serving.pool` ties it together: :class:`WorkerPool` /
+:class:`ServeSession` fan requests across reader processes generically
+over the transport, surfaced as ``SGraph.serve(workers=N, transport=...)``
+and the ``repro serve`` / ``repro attach`` CLI subcommands.
 """
 
+from repro.serving.codec import (
+    PlaneGraph,
+    decode_plane,
+    encode_plane,
+    materialize_plane,
+    plane_digest,
+)
 from repro.serving.epoch import EpochBoard
 from repro.serving.pool import ServeSession, WorkerPool
+from repro.serving.registry import EpochRegistry, LocalRegistry
 from repro.serving.shm_plane import (
-    PlaneGraph,
     ShmPlane,
     leaked_segments,
     shm_available,
 )
+from repro.serving.transport import (
+    PlaneTransport,
+    ShmTransport,
+    make_transport,
+)
 
 __all__ = [
     "EpochBoard",
+    "EpochRegistry",
+    "LocalRegistry",
     "PlaneGraph",
+    "PlaneTransport",
     "ServeSession",
     "ShmPlane",
+    "ShmTransport",
     "WorkerPool",
+    "decode_plane",
+    "encode_plane",
     "leaked_segments",
+    "make_transport",
+    "materialize_plane",
+    "plane_digest",
     "shm_available",
 ]

@@ -1,0 +1,260 @@
+"""Transport-agnostic dense-plane (de)serialization.
+
+One :class:`~repro.core.hub_index.DensePlane` becomes one self-describing
+byte blob laid out as::
+
+    [0:8)    uint64  manifest length L
+    [8:16)   uint64  data_start (aligned offset of the first buffer)
+    [16:16+L)        manifest JSON (epoch, directedness, hubs, buffer table)
+    [data_start:...) the buffers themselves, each at a 64-byte-aligned
+                     offset *relative to data_start*
+
+The manifest records ``{name: {dtype, shape, offset}}`` for every buffer —
+CSR ``indptr/indices/weights`` (plus the ``rev_*`` triple when directed),
+the dense→caller id map, and the stacked hub cost matrices ``F`` (and ``B``
+when directed and distinct) — so decoding needs nothing but the bytes:
+parse the manifest, wrap each buffer in a zero-copy numpy view.
+
+Both transports speak this format.  The shm transport encodes straight
+into a ``shared_memory`` segment's buffer (readers map the same bytes);
+the TCP transport encodes into a ``bytearray`` once per publish, ships it
+over the socket, and remote readers decode their private copy.  Either
+way :func:`materialize_plane` rebuilds a fully functional ``DensePlane``
+over the decoded views in O(#buffers); the O(V+E) work (list caches,
+residual rows) is deferred to first use exactly as on the in-process
+plane.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from typing import Dict, Iterator, List, Tuple
+
+import numpy as np
+
+from repro.errors import ConfigError
+
+ALIGN = 64
+FORMAT_VERSION = 1
+_HEADER_BYTES = 16
+
+
+def aligned(offset: int) -> int:
+    """Round ``offset`` up to the next :data:`ALIGN`-byte boundary."""
+    return (offset + ALIGN - 1) // ALIGN * ALIGN
+
+
+def plane_buffers(plane) -> List[Tuple[str, np.ndarray]]:
+    """The named flat arrays a plane is made of, in canonical order.
+
+    Order matters only for layout determinism (identical planes encode to
+    identical bytes, so digests are stable); decoding goes by name.
+    """
+    csr = plane.csr
+    tables = plane.tables
+    F, B = tables._stacked()
+    buffers: List[Tuple[str, np.ndarray]] = [
+        ("indptr", csr.indptr),
+        ("indices", csr.indices),
+        ("weights", csr.weights),
+        ("ids", np.asarray(csr.ids, dtype=np.int64)),
+        ("F", np.ascontiguousarray(F)),
+    ]
+    if csr.directed:
+        buffers += [
+            ("rev_indptr", csr.rev_indptr),
+            ("rev_indices", csr.rev_indices),
+            ("rev_weights", csr.rev_weights),
+        ]
+        if B is not F:
+            buffers.append(("B", np.ascontiguousarray(B)))
+    return buffers
+
+
+def plane_manifest(plane, epoch=None,
+                   buffers=None) -> Tuple[Dict, bytes, int]:
+    """Manifest dict, its JSON encoding, and the total encoded size.
+
+    The size covers header + manifest + aligned buffers — callers presize
+    their sink (a shm segment, a bytearray) with it before encoding.
+    """
+    if buffers is None:
+        buffers = plane_buffers(plane)
+    csr = plane.csr
+    table: Dict[str, Dict] = {}
+    offset = 0
+    for buf_name, arr in buffers:
+        offset = aligned(offset)
+        table[buf_name] = {
+            "dtype": str(arr.dtype),
+            "shape": list(arr.shape),
+            "offset": offset,
+        }
+        offset += arr.nbytes
+    manifest = {
+        "version": FORMAT_VERSION,
+        "epoch": int(csr.epoch if epoch is None else epoch),
+        "directed": bool(csr.directed),
+        "n": csr.num_vertices,
+        "hubs": [int(h) for h in plane.tables.hubs],
+        "buffers": table,
+    }
+    mbytes = json.dumps(manifest, separators=(",", ":")).encode("ascii")
+    data_start = aligned(_HEADER_BYTES + len(mbytes))
+    total = max(data_start + offset, 1)
+    return manifest, mbytes, total
+
+
+def encoded_size(plane, epoch=None) -> int:
+    """Bytes :func:`encode_plane_into` will write for ``plane``."""
+    return plane_manifest(plane, epoch)[2]
+
+
+def encode_plane_into(plane, sink,
+                      epoch=None) -> Tuple[Dict, Dict[str, np.ndarray]]:
+    """Serialize ``plane`` into a writable buffer (shm segment, bytearray).
+
+    ``sink`` must support the buffer protocol and be at least
+    :func:`encoded_size` bytes long.  Returns the manifest plus the
+    writer-side views over the sink's buffers (the shm exporter hands
+    these out so tests can mutate shared bytes in place); every buffer
+    offset is 64-byte aligned so the views keep the alignment the
+    vectorized kernels expect.
+    """
+    buffers = plane_buffers(plane)
+    manifest, mbytes, total = plane_manifest(plane, epoch, buffers=buffers)
+    buf = memoryview(sink)
+    if len(buf) < total:
+        raise ConfigError(
+            f"plane sink too small: {len(buf)} bytes < {total} needed"
+        )
+    data_start = aligned(_HEADER_BYTES + len(mbytes))
+    np.frombuffer(buf, dtype=np.uint64, count=2)[:] = (len(mbytes), data_start)
+    buf[_HEADER_BYTES:_HEADER_BYTES + len(mbytes)] = mbytes
+    table = manifest["buffers"]
+    arrays: Dict[str, np.ndarray] = {}
+    for buf_name, arr in buffers:
+        spec = table[buf_name]
+        view = np.frombuffer(
+            buf, dtype=arr.dtype, count=arr.size,
+            offset=data_start + spec["offset"],
+        ).reshape(arr.shape)
+        view[...] = arr
+        arrays[buf_name] = view
+    return manifest, arrays
+
+
+def encode_plane(plane, epoch=None) -> bytes:
+    """Serialize ``plane`` into a fresh bytes object (the TCP payload)."""
+    sink = bytearray(encoded_size(plane, epoch))
+    encode_plane_into(plane, sink, epoch=epoch)
+    return bytes(sink)
+
+
+def decode_plane(source,
+                 writable: bool = False) -> Tuple[Dict, Dict[str, np.ndarray]]:
+    """Parse an encoded plane into ``(manifest, named zero-copy views)``.
+
+    ``source`` is any buffer holding :func:`encode_plane` output — a
+    mapped shm segment or fetched socket bytes.  O(#buffers): no array is
+    copied.  Views are read-only unless ``writable`` (only the shm writer
+    asks for writable views, over a segment it owns).
+    """
+    buf = memoryview(source)
+    header = np.frombuffer(buf, dtype=np.uint64, count=2)
+    mlen, data_start = int(header[0]), int(header[1])
+    manifest = json.loads(
+        bytes(buf[_HEADER_BYTES:_HEADER_BYTES + mlen]).decode("ascii")
+    )
+    if manifest.get("version") != FORMAT_VERSION:
+        raise ConfigError(
+            f"encoded plane has format version {manifest.get('version')!r}, "
+            f"expected {FORMAT_VERSION}"
+        )
+    arrays: Dict[str, np.ndarray] = {}
+    for buf_name, spec in manifest["buffers"].items():
+        count = 1
+        for dim in spec["shape"]:
+            count *= dim
+        view = np.frombuffer(
+            buf, dtype=np.dtype(spec["dtype"]), count=count,
+            offset=data_start + spec["offset"],
+        ).reshape(spec["shape"])
+        if not writable:
+            view.flags.writeable = False
+        arrays[buf_name] = view
+    return manifest, arrays
+
+
+def materialize_plane(manifest: Dict, arrays: Dict[str, np.ndarray]):
+    """A :class:`DensePlane` over decoded buffers, O(#buffers).
+
+    The CSR adopts the views directly; hub tables adopt the stacked
+    matrices.  List caches (``out_lists`` / ``rows_as_lists``) build
+    lazily at first query, as everywhere else.
+    """
+    from repro.core.hub_index import DenseHubTables, DensePlane
+    from repro.graph.csr import CSRGraph
+
+    directed = manifest["directed"]
+    csr = CSRGraph.from_arrays(
+        indptr=arrays["indptr"],
+        indices=arrays["indices"],
+        weights=arrays["weights"],
+        vertex_ids=arrays["ids"].tolist(),
+        directed=directed,
+        epoch=manifest["epoch"],
+        rev_indptr=arrays.get("rev_indptr"),
+        rev_indices=arrays.get("rev_indices"),
+        rev_weights=arrays.get("rev_weights"),
+    )
+    F = arrays["F"]
+    B = arrays.get("B", F)
+    tables = DenseHubTables.from_matrices(
+        manifest["hubs"], F, B, ids=csr.ids, directed=directed,
+    )
+    return DensePlane(csr, tables)
+
+
+def plane_digest(payload) -> str:
+    """Content digest of an encoded plane (what readers verify on fetch)."""
+    return hashlib.sha256(memoryview(payload)).hexdigest()
+
+
+class PlaneGraph:
+    """Minimal traversal-protocol adapter over a decoded CSR.
+
+    Reader processes have no :class:`DynamicGraph` — only the plane.  The
+    engine needs ``has_vertex`` for endpoint validation (the dense search
+    itself walks the CSR directly); ``out_items``/``in_items`` complete the
+    protocol for any dict-path fallback, translating through the id map.
+    """
+
+    __slots__ = ("_csr",)
+
+    def __init__(self, csr) -> None:
+        self._csr = csr
+
+    @property
+    def directed(self) -> bool:
+        return self._csr.directed
+
+    @property
+    def num_vertices(self) -> int:
+        return self._csr.num_vertices
+
+    def has_vertex(self, vertex: int) -> bool:
+        return vertex in self._csr.dense_map
+
+    def out_items(self, vertex: int) -> Iterator[Tuple[int, float]]:
+        csr = self._csr
+        ids = csr.ids
+        for u, w in csr.out_arcs(csr.dense_id(vertex)):
+            yield ids[u], w
+
+    def in_items(self, vertex: int) -> Iterator[Tuple[int, float]]:
+        csr = self._csr
+        ids = csr.ids
+        for u, w in csr.in_arcs(csr.dense_id(vertex)):
+            yield ids[u], w

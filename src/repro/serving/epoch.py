@@ -28,6 +28,7 @@ import numpy as np
 
 from repro.errors import ConfigError
 from repro.serving import shm_plane
+from repro.serving.registry import FREE, LIVE, RETIRED, EpochRegistry
 from repro.serving.shm_plane import _untrack, unlink_segment
 
 try:  # pragma: no cover
@@ -35,14 +36,18 @@ try:  # pragma: no cover
 except ImportError:  # pragma: no cover
     shared_memory = None
 
-FREE, LIVE, RETIRED = 0, 1, 2
+__all__ = ["EpochBoard", "FREE", "LIVE", "RETIRED"]
 
 _NAME_LEN = 128
 _HEADER = 4  # generation, current_slot, num_slots, num_workers
 
 
-class EpochBoard:
-    """Refcounted plane registry shared by the writer and its readers."""
+class EpochBoard(EpochRegistry):
+    """Shared-memory :class:`EpochRegistry`: the slot table itself lives in
+    a segment both the writer and its forked readers map.
+
+    Reader ids are small ints (worker indexes) — the reap bookkeeping is a
+    fixed per-worker cell array inside the segment."""
 
     def __init__(self, shm, lock, head: np.ndarray, names: np.ndarray,
                  meta: np.ndarray, worker_slots: np.ndarray,
@@ -175,6 +180,10 @@ class EpochBoard:
             self._head[1] = slot
             self._head[0] += 1
             return slot
+
+    def release_reader(self, reader_id) -> None:
+        """Reap the slot held by a worker that died without releasing."""
+        self.release_worker(int(reader_id))
 
     def release_worker(self, worker_id: int) -> None:
         """Reap the slot held by a worker that died without releasing."""

@@ -1,0 +1,545 @@
+"""TCP plane transport: fetch-on-publish serving across host boundaries.
+
+The shm transport needs readers on the writer's box.  This module moves
+the same epoch-handoff protocol over a small length-prefixed TCP wire so
+reader fleets anywhere can serve published epochs:
+
+* the writer owns a :class:`PlaneServer` — a background accept thread plus
+  one thread per reader connection — holding a
+  :class:`~repro.serving.registry.LocalRegistry` slot table and, per LIVE
+  or still-referenced slot, the epoch's plane encoded once by
+  :mod:`repro.serving.codec` (with its SHA-256 digest);
+* on publish the writer registers ``(epoch, manifest, digest)``; readers
+  polling the generation see the bump, ``acquire`` the slot, and — only
+  when the digest is not already in their bounded local cache — ``fetch``
+  the payload **once**, verify the digest, and decode it into a private
+  :class:`~repro.core.hub_index.DensePlane` (fetch-on-publish: the bytes
+  cross the socket once per reader per epoch, never per query);
+* queries then run entirely locally on the cached plane — the same
+  ``_search_dense`` hot path, bit-identical to shm workers — and the
+  refcount protocol retires old epochs exactly as on the board.  A reader
+  whose connection drops (crash, SIGKILL) is reaped by its connection
+  thread, returning its refcount.
+
+Wire format: every message is an 8-byte big-endian length followed by a
+JSON body; a ``fetch`` response is followed by one raw frame carrying the
+encoded plane.  Ops: ``hello``, ``poll``, ``acquire``, ``release``,
+``fetch``, ``stats``.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+import struct
+import threading
+from collections import OrderedDict
+from typing import Dict, List, Optional, Tuple
+
+from repro.errors import ConfigError, QueryError
+from repro.serving.codec import (
+    PlaneGraph,
+    decode_plane,
+    encode_plane,
+    materialize_plane,
+    plane_digest,
+)
+from repro.serving.registry import DEFAULT_SLOTS, LocalRegistry
+from repro.serving.transport import (
+    PlaneClient,
+    PlaneLease,
+    PlaneTransport,
+    ReaderSpec,
+)
+
+_LEN = struct.Struct(">Q")
+
+#: planes a reader keeps decoded locally; re-acquiring a cached digest
+#: costs one control round-trip and zero payload bytes.
+DEFAULT_CACHE_PLANES = 4
+
+
+def net_available() -> bool:
+    """Whether loopback TCP sockets actually work in this environment."""
+    try:
+        listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        try:
+            listener.bind(("127.0.0.1", 0))
+            listener.listen(1)
+            probe = socket.create_connection(
+                listener.getsockname(), timeout=1.0
+            )
+            probe.close()
+        finally:
+            listener.close()
+    except OSError:
+        return False
+    return True
+
+
+# -- framing ----------------------------------------------------------------
+
+
+def _recv_exact(sock: socket.socket, n: int) -> Optional[bytes]:
+    chunks = []
+    while n:
+        chunk = sock.recv(min(n, 1 << 20))
+        if not chunk:
+            return None
+        chunks.append(chunk)
+        n -= len(chunk)
+    return b"".join(chunks)
+
+
+def _send_frame(sock: socket.socket, payload: bytes) -> None:
+    sock.sendall(_LEN.pack(len(payload)) + payload)
+
+
+def _recv_frame(sock: socket.socket) -> Optional[bytes]:
+    head = _recv_exact(sock, _LEN.size)
+    if head is None:
+        return None
+    return _recv_exact(sock, _LEN.unpack(head)[0])
+
+
+def _send_msg(sock: socket.socket, obj: dict) -> None:
+    _send_frame(sock, json.dumps(obj, separators=(",", ":")).encode("ascii"))
+
+
+def _recv_msg(sock: socket.socket) -> Optional[dict]:
+    frame = _recv_frame(sock)
+    if frame is None:
+        return None
+    return json.loads(frame.decode("ascii"))
+
+
+# -- writer side ------------------------------------------------------------
+
+
+class PlaneServer:
+    """Writer-owned TCP endpoint: registry mutations + payload fetches.
+
+    One thread accepts connections; each connection gets a thread that
+    drains its ops.  All registry and payload state is mutated under the
+    registry's RLock, so eviction (retired slot, refcount zero) can never
+    interleave with a fetch — an acquired slot's payload is pinned until
+    its last release.
+    """
+
+    def __init__(self, host: str = "127.0.0.1", port: int = 0,
+                 num_slots: int = DEFAULT_SLOTS) -> None:
+        self._registry = LocalRegistry(
+            num_slots=num_slots, on_evict=self._on_evict
+        )
+        # slot -> (payload, digest, epoch); pinned while the slot is live
+        self._payloads: Dict[int, Tuple[bytes, str, int]] = {}
+        # reader -> digest -> fetch count (the fetched-exactly-once audit)
+        self._fetches: Dict[str, Dict[str, int]] = {}
+        self._conns: List[socket.socket] = []
+        self._next_reader = 0
+        self._closed = False
+        self._listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        self._listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        self._listener.bind((host, port))
+        self._listener.listen(32)
+        self.host, self.port = self._listener.getsockname()[:2]
+        self._accept_thread = threading.Thread(
+            target=self._accept_loop, name="repro-plane-server", daemon=True
+        )
+        self._accept_thread.start()
+
+    # -- writer API ---------------------------------------------------------
+
+    @property
+    def registry(self) -> LocalRegistry:
+        return self._registry
+
+    @property
+    def address(self) -> str:
+        return f"{self.host}:{self.port}"
+
+    def publish(self, payload: bytes, epoch: int) -> str:
+        """Register one encoded plane as the newest epoch; returns digest."""
+        digest = plane_digest(payload)
+        with self._registry.lock:
+            slot = self._registry.register(digest, epoch)
+            self._payloads[slot] = (payload, digest, epoch)
+        return digest
+
+    def fetch_counts(self) -> Dict[str, Dict[str, int]]:
+        """Per-reader, per-digest fetch counts (each should be exactly 1)."""
+        with self._registry.lock:
+            return {r: dict(d) for r, d in self._fetches.items()}
+
+    def close(self) -> None:
+        self._closed = True
+        try:
+            self._listener.close()
+        except OSError:  # pragma: no cover
+            pass
+        for conn in list(self._conns):
+            try:
+                conn.close()
+            except OSError:  # pragma: no cover
+                pass
+        self._registry.shutdown()
+
+    # -- internals ----------------------------------------------------------
+
+    def _on_evict(self, slot: int, _ref: str) -> None:
+        # Registry lock held: drop the payload the freed slot pinned.
+        self._payloads.pop(slot, None)
+
+    def _accept_loop(self) -> None:
+        while not self._closed:
+            try:
+                conn, _addr = self._listener.accept()
+            except OSError:
+                return
+            self._conns.append(conn)
+            threading.Thread(
+                target=self._serve_conn, args=(conn,),
+                name="repro-plane-conn", daemon=True,
+            ).start()
+
+    def _serve_conn(self, conn: socket.socket) -> None:
+        reader = None
+        try:
+            while True:
+                msg = _recv_msg(conn)
+                if msg is None:
+                    return
+                op = msg.get("op")
+                if op == "hello":
+                    reader = msg.get("reader")
+                    if reader is None:
+                        with self._registry.lock:
+                            reader = f"r{self._next_reader}"
+                            self._next_reader += 1
+                    _send_msg(conn, {
+                        "ok": True, "reader": reader,
+                        "generation": self._registry.generation(),
+                    })
+                elif op == "poll":
+                    _send_msg(conn, {
+                        "ok": True,
+                        "generation": self._registry.generation(),
+                    })
+                elif op == "acquire":
+                    got = self._registry.acquire(reader)
+                    if got is None:
+                        _send_msg(conn, {"ok": True, "empty": True})
+                    else:
+                        generation, slot, epoch, digest = got
+                        with self._registry.lock:
+                            nbytes = len(self._payloads[slot][0])
+                        _send_msg(conn, {
+                            "ok": True, "generation": generation,
+                            "slot": slot, "epoch": epoch,
+                            "digest": digest, "nbytes": nbytes,
+                        })
+                elif op == "release":
+                    self._registry.release(msg["slot"], reader)
+                    _send_msg(conn, {"ok": True})
+                elif op == "fetch":
+                    with self._registry.lock:
+                        entry = self._payloads.get(msg["slot"])
+                        if entry is not None:
+                            payload, digest, _epoch = entry
+                            counts = self._fetches.setdefault(str(reader), {})
+                            counts[digest] = counts.get(digest, 0) + 1
+                    if entry is None:
+                        _send_msg(conn, {
+                            "ok": False,
+                            "error": f"slot {msg['slot']} holds no plane",
+                        })
+                    else:
+                        _send_msg(conn, {
+                            "ok": True, "digest": digest,
+                            "nbytes": len(payload),
+                        })
+                        _send_frame(conn, payload)
+                elif op == "stats":
+                    with self._registry.lock:
+                        _send_msg(conn, {
+                            "ok": True,
+                            "generation": self._registry.generation(),
+                            "slots": self._registry.slots(),
+                            "fetches": {
+                                r: sum(d.values())
+                                for r, d in self._fetches.items()
+                            },
+                        })
+                else:
+                    _send_msg(conn, {"ok": False,
+                                     "error": f"unknown op {op!r}"})
+        except OSError:
+            return
+        finally:
+            # A reader that died (or just disconnected) without releasing
+            # is reaped here — its refcount goes back, possibly evicting a
+            # retired plane.  ServeSession.reap() is idempotent on top.
+            if reader is not None:
+                self._registry.release_reader(reader)
+            try:
+                conn.close()
+            except OSError:  # pragma: no cover
+                pass
+            try:
+                self._conns.remove(conn)
+            except ValueError:  # pragma: no cover
+                pass
+
+
+class NetTransport(PlaneTransport):
+    """Writer-side TCP transport: one :class:`PlaneServer`, planes encoded
+    once per epoch and fetched once per reader."""
+
+    kind = "tcp"
+
+    def __init__(self, num_workers: int = 0, host: str = "127.0.0.1",
+                 port: int = 0, cache_planes: int = DEFAULT_CACHE_PLANES,
+                 num_slots: int = DEFAULT_SLOTS) -> None:
+        if cache_planes < 1:
+            raise ConfigError("cache_planes must be >= 1")
+        self._server = PlaneServer(host=host, port=port, num_slots=num_slots)
+        self._cache_planes = cache_planes
+        self._num_workers = num_workers
+        self._published: set = set()
+
+    @property
+    def registry(self) -> LocalRegistry:
+        return self._server.registry
+
+    @property
+    def server(self) -> PlaneServer:
+        return self._server
+
+    @property
+    def address(self) -> str:
+        """``host:port`` remote readers pass to ``repro attach``."""
+        return self._server.address
+
+    def publish_plane(self, plane, epoch: int) -> bool:
+        if epoch in self._published:
+            return False
+        payload = encode_plane(plane, epoch=epoch)
+        self._server.publish(payload, epoch)
+        self._published.add(epoch)
+        return True
+
+    def reader_spec(self) -> "TcpReaderSpec":
+        return TcpReaderSpec(
+            self._server.host, self._server.port, self._cache_planes
+        )
+
+    def describe(self) -> str:
+        return f"tcp {self.address}"
+
+    def close(self) -> None:
+        self._server.close()
+
+
+# -- reader side ------------------------------------------------------------
+
+
+class TcpReaderSpec(ReaderSpec):
+    """Address + cache bound; trivially picklable across process starts."""
+
+    def __init__(self, host: str, port: int,
+                 cache_planes: int = DEFAULT_CACHE_PLANES) -> None:
+        self.host = host
+        self.port = port
+        self.cache_planes = cache_planes
+
+    def connect(self, reader_id) -> "NetClient":
+        return NetClient(self.host, self.port, reader_id=reader_id,
+                         cache_planes=self.cache_planes)
+
+
+class NetClient(PlaneClient):
+    """Reader endpoint over one persistent socket, with a plane cache.
+
+    The cache is an LRU keyed by payload digest, bounded to
+    ``cache_planes`` decoded planes: re-acquiring a digest already cached
+    is one control round-trip (no payload), so each epoch's buffers cross
+    the socket exactly once however many queries it serves.
+    """
+
+    def __init__(self, host: str, port: int, reader_id=None,
+                 cache_planes: int = DEFAULT_CACHE_PLANES,
+                 timeout: Optional[float] = 30.0) -> None:
+        try:
+            self._sock = socket.create_connection((host, port),
+                                                  timeout=timeout)
+        except OSError as exc:
+            raise ConfigError(
+                f"cannot reach plane server at {host}:{port}: {exc}"
+            ) from None
+        self._sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        self._cache: "OrderedDict[str, object]" = OrderedDict()
+        self._cache_planes = cache_planes
+        hello = self._call({"op": "hello", "reader": reader_id})
+        self.reader_id = hello["reader"]
+
+    def _call(self, msg: dict) -> dict:
+        try:
+            _send_msg(self._sock, msg)
+            resp = _recv_msg(self._sock)
+        except OSError as exc:
+            raise QueryError(f"plane server connection lost: {exc}") from None
+        if resp is None:
+            raise QueryError("plane server closed the connection")
+        if not resp.get("ok", False):
+            raise QueryError(
+                f"plane server refused {msg.get('op')!r}: "
+                f"{resp.get('error', 'unknown error')}"
+            )
+        return resp
+
+    def generation(self) -> int:
+        return self._call({"op": "poll"})["generation"]
+
+    def stats(self) -> dict:
+        """Server-side slots + fetch counters (tests and dashboards)."""
+        return self._call({"op": "stats"})
+
+    def acquire(self) -> Optional[PlaneLease]:
+        resp = self._call({"op": "acquire"})
+        if resp.get("empty"):
+            return None
+        slot, digest = resp["slot"], resp["digest"]
+        plane = self._cache.get(digest)
+        if plane is not None:
+            self._cache.move_to_end(digest)
+        else:
+            try:
+                plane = self._fetch(slot, digest)
+            except Exception:
+                self._call({"op": "release", "slot": slot})
+                raise
+            self._cache[digest] = plane
+            while len(self._cache) > self._cache_planes:
+                self._cache.popitem(last=False)
+
+        def release() -> None:
+            self._call({"op": "release", "slot": slot})
+
+        return PlaneLease(resp["generation"], slot, resp["epoch"], plane,
+                          release)
+
+    def _fetch(self, slot: int, digest: str):
+        header = self._call({"op": "fetch", "slot": slot})
+        try:
+            payload = _recv_frame(self._sock)
+        except OSError as exc:
+            raise QueryError(f"plane fetch failed: {exc}") from None
+        if payload is None or len(payload) != header["nbytes"]:
+            raise QueryError("plane fetch was truncated")
+        if plane_digest(payload) != digest:
+            raise QueryError(
+                f"plane digest mismatch for slot {slot}: payload corrupt"
+            )
+        manifest, arrays = decode_plane(payload)
+        return materialize_plane(manifest, arrays)
+
+    def close(self) -> None:
+        try:
+            self._sock.close()
+        except OSError:  # pragma: no cover
+            pass
+        self._cache.clear()
+
+
+class NetReader:
+    """Standalone remote reader: attach to a writer, serve queries locally.
+
+    What ``repro attach host:port`` drives — the single-process analogue
+    of one pool worker, usable from any host that can reach the writer's
+    :class:`PlaneServer`.  Queries run on the locally cached plane; call
+    :meth:`refresh` (or any query, which refreshes implicitly) to pick up
+    newly published epochs.
+    """
+
+    def __init__(self, address: str, policy: str = "upper+lower",
+                 cache_planes: int = DEFAULT_CACHE_PLANES) -> None:
+        host, _, port = address.rpartition(":")
+        if not host or not port.isdigit():
+            raise ConfigError(
+                f"attach address must be host:port, got {address!r}"
+            )
+        self._client = NetClient(host, int(port), cache_planes=cache_planes)
+        self._policy = policy
+        self._lease: Optional[PlaneLease] = None
+        self._engine = None
+
+    @property
+    def epoch(self) -> Optional[int]:
+        """Epoch currently served (None before the writer publishes)."""
+        lease = self._lease
+        return None if lease is None else lease.epoch
+
+    @property
+    def client(self) -> NetClient:
+        return self._client
+
+    def refresh(self) -> Optional[int]:
+        """Adopt the newest published epoch; returns it (None when bare)."""
+        from repro.core.engine import PairwiseEngine
+
+        lease = self._lease
+        if lease is not None and lease.generation == self._client.generation():
+            return lease.epoch
+        self._engine = None
+        if lease is not None:
+            self._lease = None
+            lease.release()
+        lease = self._client.acquire()
+        if lease is None:
+            return None
+        self._lease = lease
+        self._engine = PairwiseEngine(
+            PlaneGraph(lease.plane.csr), policy=self._policy,
+            dense=lease.plane,
+        )
+        return lease.epoch
+
+    def _current_engine(self):
+        self.refresh()
+        if self._engine is None:
+            raise QueryError("no epoch has been published yet")
+        return self._engine, self._lease
+
+    def vertices(self) -> List[int]:
+        """Caller-space vertex ids of the served plane (demo drivers)."""
+        _engine, lease = self._current_engine()
+        return list(lease.plane.csr.ids)
+
+    def distance(self, source: int, target: int,
+                 tolerance: float = 0.0) -> Tuple[float, object, int]:
+        """One pairwise distance on the cached plane: (value, stats, epoch)."""
+        engine, lease = self._current_engine()
+        value, stats = engine.best_cost(source, target, tolerance=tolerance)
+        return value, stats, lease.epoch
+
+    def distance_many(self, source: int, targets) -> Tuple[dict, object, int]:
+        """One-to-many on the cached plane: (values, stats, epoch)."""
+        engine, lease = self._current_engine()
+        values, stats = engine.one_to_many(source, list(targets))
+        return values, stats, lease.epoch
+
+    def close(self) -> None:
+        lease, self._lease = self._lease, None
+        self._engine = None
+        if lease is not None:
+            try:
+                lease.release()
+            except QueryError:  # pragma: no cover - writer already gone
+                pass
+        self._client.close()
+
+    def __enter__(self) -> "NetReader":
+        return self
+
+    def __exit__(self, *_exc) -> None:
+        self.close()

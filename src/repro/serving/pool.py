@@ -2,28 +2,34 @@
 
 The writer/readers split the paper's serving story needs: one process owns
 the live :class:`~repro.SGraph` and keeps ingesting; N reader processes
-attach the newest published plane from shared memory and answer
+acquire the newest published plane through a
+:class:`~repro.serving.transport.PlaneTransport` and answer
 ``distance / distance_many / nearest / within`` requests with the
 bit-identical ``_search_dense`` hot path.  Requests and responses travel
 over two multiprocessing queues; per-query payloads are a few scalars plus
 a :class:`~repro.core.stats.QueryStats` — graphs are never pickled.
 
-Workers poll the epoch board's generation between requests: stale readers
-detach (releasing their refcount, possibly unlinking a retired plane) and
-re-attach the newest segment by name.  A request already being answered
+Workers poll the registry generation between requests: stale readers
+release their lease (returning the refcount, possibly evicting a retired
+plane) and acquire the newest one.  A request already being answered
 keeps using the plane it started on — in-flight queries finish on their
 starting epoch by construction.
 
+The pool is generic over the transport: each worker receives a picklable
+:class:`~repro.serving.transport.ReaderSpec` and connects inside its own
+process — a shm spec attaches the epoch board and maps segments, a tcp
+spec opens a socket and caches fetched planes.  The request loop never
+knows which.
+
 :class:`ServeSession` is the writer-side facade tying it together: it owns
-a :class:`~repro.streaming.versioning.VersionedStore`, exports every newly
-published epoch to shm, registers it on the board, and exposes blocking
-query helpers over the pool.  ``SGraph.serve(workers=N)`` constructs one.
+a :class:`~repro.streaming.versioning.VersionedStore`, publishes every new
+epoch through the transport, and exposes blocking query helpers over the
+pool.  ``SGraph.serve(workers=N, transport=...)`` constructs one.
 """
 
 from __future__ import annotations
 
 import atexit
-import gc
 import itertools
 import multiprocessing as mp
 import os
@@ -32,11 +38,11 @@ import time
 from typing import Dict, List, NamedTuple, Optional, Sequence, Tuple
 
 from repro.errors import ConfigError, QueryError
-from repro.serving.epoch import EpochBoard
-from repro.serving.shm_plane import PlaneGraph, ShmPlane
+from repro.serving.transport import PlaneTransport, make_transport
 
 #: queries bundled per pool message — amortizes the ~100µs queue round-trip
 #: across enough sub-millisecond searches to keep workers compute-bound.
+#: Override per session with ``SGraph.serve(chunk=...)``.
 DEFAULT_CHUNK = 32
 
 
@@ -71,9 +77,9 @@ def _dispatch(engine, plane, verb: str, payload):
     raise QueryError(f"unknown verb {verb!r}")
 
 
-def _worker_main(worker_id: int, board_name: str, lock, requests, responses,
+def _worker_main(worker_id: int, spec, requests, responses,
                  policy_value: str) -> None:
-    """One reader process: attach newest plane, drain requests forever.
+    """One reader process: acquire newest plane, drain requests forever.
 
     ``requests`` is this worker's *private* queue: a shared request queue
     would leave its reader lock held forever if a sibling were SIGKILLed
@@ -81,50 +87,46 @@ def _worker_main(worker_id: int, board_name: str, lock, requests, responses,
     the private queues of workers it still believes alive.
     """
     from repro.core.engine import PairwiseEngine
+    from repro.serving.codec import PlaneGraph
 
-    board = EpochBoard.attach(board_name, lock)
-    held: Dict[str, Optional[tuple]] = {"plane": None}
+    client = spec.connect(worker_id)
+    held: Dict[str, Optional[tuple]] = {"entry": None}
 
     def detach() -> None:
-        entry = held["plane"]
-        held["plane"] = None
+        entry = held["entry"]
+        held["entry"] = None
         if entry is None:
             return
-        slot, handle = entry[1], entry[2]
-        # The engine and plane in the entry hold numpy views into the
-        # mapping; drop them (and any stray cycle) before closing it, or
-        # the munmap would be deferred to interpreter shutdown.
+        lease = entry[0]
+        # The lease's release path may need every view into the plane
+        # dropped first (shm unmaps); clear our references before calling.
         entry = None
-        gc.collect()
-        handle.close()
-        board.release(slot, worker_id=worker_id)
+        lease.release()
 
     # Finalizer for exits that skip the normal loop teardown (unhandled
     # signals short of SIGKILL, interpreter shutdown): the refcount must be
     # returned or the writer would wait on a ghost reader.  SIGKILL itself
-    # is covered by the writer-side reap (EpochBoard.release_worker).
+    # is covered by the writer-side reap (transport.release_reader).
     atexit.register(detach)
 
     def current() -> Optional[tuple]:
-        entry = held["plane"]
-        if entry is not None and entry[0] == board.generation():
+        entry = held["entry"]
+        if entry is not None and entry[0].generation == client.generation():
             return entry
+        # Drop this frame's binding before detaching: a live reference
+        # here would keep the old plane's views alive through release()
+        # and defer the unmap to interpreter shutdown.
+        entry = None
         detach()
-        got = board.acquire(worker_id)
-        if got is None:
+        lease = client.acquire()
+        if lease is None:
             return None
-        generation, slot, epoch, seg_name = got
-        try:
-            handle = ShmPlane.attach(seg_name)
-        except FileNotFoundError:
-            board.release(slot, worker_id=worker_id)
-            return None
-        plane = handle.as_dense_plane()
+        plane = lease.plane
         engine = PairwiseEngine(
             PlaneGraph(plane.csr), policy=policy_value, dense=plane,
         )
-        entry = (generation, slot, handle, engine, plane, epoch)
-        held["plane"] = entry
+        entry = (lease, engine, plane)
+        held["entry"] = entry
         return entry
 
     try:
@@ -137,9 +139,9 @@ def _worker_main(worker_id: int, board_name: str, lock, requests, responses,
                 entry = current()
                 if entry is None:
                     raise QueryError("no epoch has been published yet")
-                result = _dispatch(entry[3], entry[4], verb, payload)
+                result = _dispatch(entry[1], entry[2], verb, payload)
                 responses.put(Response(
-                    req_id, worker_id, entry[5], True, result,
+                    req_id, worker_id, entry[0].epoch, True, result,
                 ))
             except Exception as exc:  # noqa: BLE001 - report, don't die
                 responses.put(Response(
@@ -147,19 +149,18 @@ def _worker_main(worker_id: int, board_name: str, lock, requests, responses,
                     f"{type(exc).__name__}: {exc}",
                 ))
             finally:
-                # Keep held["plane"] the only reference to the attached
-                # plane between requests, so detach() can actually unmap.
+                # Keep held["entry"] the only reference to the acquired
+                # plane between requests, so detach() can actually release.
                 entry = None
     finally:
         detach()
-        board.detach()
+        client.close()
 
 
 class WorkerPool:
-    """N reader processes fed from one request queue."""
+    """N reader processes fed from private request queues."""
 
-    def __init__(self, ctx, workers: int, board_name: str, lock,
-                 policy_value: str) -> None:
+    def __init__(self, ctx, workers: int, spec, policy_value: str) -> None:
         if workers < 1:
             raise ConfigError("workers must be >= 1")
         self._requests = [ctx.Queue() for _ in range(workers)]
@@ -169,8 +170,8 @@ class WorkerPool:
         self._procs = [
             ctx.Process(
                 target=_worker_main,
-                args=(i, board_name, lock, self._requests[i],
-                      self._responses, policy_value),
+                args=(i, spec, self._requests[i], self._responses,
+                      policy_value),
                 daemon=True,
                 name=f"repro-serve-{i}",
             )
@@ -251,14 +252,16 @@ class WorkerPool:
 class ServeSession:
     """Writer-side handle on a running multiprocess serving deployment.
 
-    Owns the version store, the shm exports, the epoch board, and the
-    worker pool.  Use as a context manager (or call :meth:`close`); an
-    ``atexit`` hook backstops sessions the caller forgot, so no segment
-    outlives the writer process.
+    Owns the version store, the plane transport, and the worker pool.  Use
+    as a context manager (or call :meth:`close`); an ``atexit`` hook
+    backstops sessions the caller forgot, so no segment or socket outlives
+    the writer process.
     """
 
     def __init__(self, sgraph, workers: int = 2, store=None,
-                 capacity: int = 4, name_prefix: Optional[str] = None) -> None:
+                 capacity: int = 4, name_prefix: Optional[str] = None,
+                 transport: str = "shm", chunk: Optional[int] = None,
+                 **transport_options) -> None:
         from repro.streaming.versioning import VersionedStore
 
         config = sgraph.config
@@ -270,6 +273,10 @@ class ServeSession:
             raise ConfigError(
                 "serving shares the dense plane; backend='dict' publishes none"
             )
+        if chunk is None:
+            chunk = DEFAULT_CHUNK
+        if chunk < 1:
+            raise ConfigError("chunk must be >= 1")
         self._sgraph = sgraph
         self._store = store if store is not None else VersionedStore(
             sgraph, capacity=capacity
@@ -277,20 +284,24 @@ class ServeSession:
         self._prefix = name_prefix or (
             f"rp{os.getpid():x}-{os.urandom(3).hex()}-"
         )
-        self._exports: Dict[int, ShmPlane] = {}
+        self._chunk = chunk
         self._closed = False
         ctx = mp.get_context(
             "fork" if "fork" in mp.get_all_start_methods() else None
         )
-        self._lock = ctx.Lock()
-        self._board = EpochBoard.create(
-            self._prefix + "board", num_workers=workers, lock=self._lock,
+        self._transport = make_transport(
+            transport, self._prefix, workers, ctx, **transport_options
         )
         self._pool = WorkerPool(
-            ctx, workers, self._board.name, self._lock,
+            ctx, workers, self._transport.reader_spec(),
             policy_value=config.policy.value,
         )
-        self._unsubscribe = self._store.subscribe(self._on_publish)
+        # replay_latest covers stores whose current epoch was already
+        # published before this session subscribed — the callback fires
+        # immediately so the readers still get a plane.
+        self._unsubscribe = self._store.subscribe(
+            self._on_publish, replay_latest=True
+        )
         atexit.register(self.close)
         self.publish()
 
@@ -298,7 +309,7 @@ class ServeSession:
 
     @property
     def prefix(self) -> str:
-        """Name prefix of every segment this session creates."""
+        """Name prefix of every resource this session creates."""
         return self._prefix
 
     @property
@@ -306,8 +317,13 @@ class ServeSession:
         return self._store
 
     @property
-    def board(self) -> EpochBoard:
-        return self._board
+    def transport(self) -> PlaneTransport:
+        return self._transport
+
+    @property
+    def board(self):
+        """The transport's epoch registry (named for the shm board)."""
+        return self._transport.registry
 
     @property
     def pool(self) -> WorkerPool:
@@ -316,6 +332,25 @@ class ServeSession:
     @property
     def workers(self) -> int:
         return self._pool.workers
+
+    @property
+    def chunk(self) -> int:
+        """Queries bundled per pool message in batched verbs."""
+        return self._chunk
+
+    def stats_row(self) -> Dict[str, object]:
+        """One observability row: transport, fan-out, and registry state."""
+        registry = self._transport.registry
+        return {
+            "transport": self._transport.kind,
+            "endpoint": self._transport.describe(),
+            "workers": self._pool.workers,
+            "alive": len(self._pool.alive()),
+            "chunk": self._chunk,
+            "epoch": registry.current_epoch(),
+            "generation": registry.generation(),
+            "slots_held": len(registry.slots()),
+        }
 
     def __enter__(self) -> "ServeSession":
         return self
@@ -329,20 +364,15 @@ class ServeSession:
         """Publish the facade's current epoch and hand it to the readers.
 
         Delegates to :meth:`VersionedStore.publish`; the store's publish
-        hook exports the new plane to a fresh shm segment and registers it
-        on the board (same-epoch republish is a no-op end to end).
+        hook encodes the new plane through the transport (same-epoch
+        republish is a no-op end to end).
         """
         return self._store.publish(label)
 
     def _on_publish(self, view) -> None:
-        epoch = view.epoch
-        if epoch in self._exports or self._closed:
+        if self._closed:
             return
-        plane = view.dense_plane("distance")
-        name = f"{self._prefix}e{epoch}"
-        handle = ShmPlane.export(plane, name, epoch=epoch)
-        self._exports[epoch] = handle
-        self._board.register(name, epoch)
+        self._transport.publish_plane(view.dense_plane("distance"), view.epoch)
 
     # -- queries ------------------------------------------------------------
 
@@ -370,11 +400,85 @@ class ServeSession:
         return value, stats, resp.epoch
 
     def distance_many(self, source: int, targets: Sequence[int],
-                      timeout: Optional[float] = None):
-        """One-to-many distances; returns ``(values, stats, epoch)``."""
-        resp = self._one("distance_many", (source, list(targets)), timeout)
-        values, stats = resp.payload
-        return values, stats, resp.epoch
+                      timeout: Optional[float] = None,
+                      chunk_size: Optional[int] = None):
+        """One-to-many distances; returns ``(values, stats, epoch)``.
+
+        Target lists longer than the session chunk are split across the
+        pool: each worker answers one slice with the shared-search kernel
+        and the partial results merge — values union disjointly, counters
+        sum (:meth:`QueryStats.merge`), ``answered_by_index`` only when
+        every slice was.  All partials must come from one epoch; a publish
+        racing the fan-out is retried once on the new epoch.
+        """
+        targets = list(targets)
+        chunk = self._chunk if chunk_size is None else chunk_size
+        if chunk < 1:
+            raise ConfigError("chunk_size must be >= 1")
+        if len(targets) <= chunk or self._pool.workers == 1:
+            resp = self._one("distance_many", (source, targets), timeout)
+            values, stats = resp.payload
+            return values, stats, resp.epoch
+        for _attempt in (0, 1):
+            merged = self._distance_many_fanout(source, targets, chunk,
+                                                timeout)
+            if merged is not None:
+                return merged
+        raise QueryError(
+            "distance_many partials kept landing on different epochs "
+            "(a publish raced every retry)"
+        )
+
+    def _distance_many_fanout(self, source, targets, chunk, timeout):
+        # One request per slice; merge below checks epoch agreement.
+        slices = [targets[i:i + chunk] for i in range(0, len(targets), chunk)]
+        req_ids = [
+            self._pool.submit("distance_many", (source, part))
+            for part in slices
+        ]
+        got = self._pool.gather(req_ids, timeout=timeout)
+        missing = [rid for rid in req_ids if rid not in got]
+        if missing and self._pool.dead():
+            # Reap crashed workers and resubmit the lost slices once —
+            # pure reads are idempotent.
+            self.reap()
+            redo = {
+                self._pool.submit(
+                    "distance_many", (source, slices[req_ids.index(rid)])
+                ): rid
+                for rid in missing
+            }
+            for new_id, resp in self._pool.gather(
+                list(redo), timeout=timeout
+            ).items():
+                got[redo[new_id]] = resp
+            missing = [rid for rid in req_ids if rid not in got]
+        if missing:
+            raise QueryError(
+                f"distance_many lost {len(missing)} slices "
+                f"(alive workers: {len(self._pool.alive())})"
+            )
+        for rid in req_ids:
+            if not got[rid].ok:
+                resp = got[rid]
+                raise QueryError(
+                    f"worker {resp.worker_id} failed: {resp.payload}"
+                )
+        epochs = {got[rid].epoch for rid in req_ids}
+        if len(epochs) > 1:
+            return None  # publish raced the fan-out; caller retries
+        from repro.core.stats import QueryStats
+
+        values: Dict[int, float] = {}
+        stats = QueryStats(answered_by_index=True)
+        for rid in req_ids:
+            part_values, part_stats = got[rid].payload
+            values.update(part_values)
+            stats.merge(part_stats)
+            stats.answered_by_index = (
+                stats.answered_by_index and part_stats.answered_by_index
+            )
+        return values, stats, epochs.pop()
 
     def nearest(self, source: int, k: int,
                 timeout: Optional[float] = None):
@@ -389,7 +493,7 @@ class ServeSession:
         return resp.payload, resp.epoch
 
     def map_distance(self, pairs: Sequence[Tuple[int, int]],
-                     chunk_size: int = DEFAULT_CHUNK,
+                     chunk_size: Optional[int] = None,
                      timeout: Optional[float] = None) -> List[tuple]:
         """Fan a batch of ``(s, t)`` pairs across the pool, chunked.
 
@@ -399,6 +503,8 @@ class ServeSession:
         """
         if self._pool.dead():
             self.reap()
+        if chunk_size is None:
+            chunk_size = self._chunk
         chunks = [
             list(pairs[i:i + chunk_size])
             for i in range(0, len(pairs), chunk_size)
@@ -453,23 +559,18 @@ class ServeSession:
     # -- lifecycle ----------------------------------------------------------
 
     def reap(self) -> List[int]:
-        """Return the refcounts of dead workers to the board."""
+        """Return the refcounts of dead workers to the registry."""
         dead = self._pool.dead()
         for worker_id in dead:
-            self._board.release_worker(worker_id)
+            self._transport.release_reader(worker_id)
         return dead
 
     def close(self) -> None:
-        """Stop the pool and remove every segment this session created."""
+        """Stop the pool and tear down every transport resource."""
         if self._closed:
             return
         self._closed = True
         self._unsubscribe()
         self._pool.close()
-        for worker_id in range(self._pool.workers):
-            self._board.release_worker(worker_id)
-        for handle in self._exports.values():
-            handle.close()
-        self._exports = {}
-        self._board.shutdown()
+        self._transport.close()
         atexit.unregister(self.close)

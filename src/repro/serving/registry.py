@@ -1,0 +1,233 @@
+"""The epoch-handoff slot-table protocol, independent of any transport.
+
+A registry is the one piece of shared state between a plane writer and
+its readers: a table of published planes, each identified by a *ref* (a
+shm segment name, a payload digest — whatever the transport uses to find
+the bytes) and carrying an epoch, a refcount, and a state in
+{FREE, LIVE, RETIRED}.  The protocol is the same everywhere:
+
+* the writer :meth:`~EpochRegistry.register`\\ s a fully materialized
+  plane as the newest epoch; the previous current slot is RETIRED and a
+  generation counter bumps (the reader's one-word staleness probe);
+* readers :meth:`~EpochRegistry.acquire` a reference on the current slot
+  before serving from it and :meth:`~EpochRegistry.release` it when they
+  move on; a RETIRED slot whose refcount reaches zero is *evicted* (the
+  transport unlinks the segment / drops the payload);
+* readers that die without releasing are reaped —
+  :meth:`~EpochRegistry.release_reader` returns whatever refcount the
+  registry still attributes to them.
+
+Two implementations ship: :class:`~repro.serving.epoch.EpochBoard` lays
+the table into a shared-memory segment readers map directly (readers and
+writer in different processes on one box), and :class:`LocalRegistry`
+below keeps it in writer-process memory behind a ``threading`` lock (the
+TCP transport's server mutates it on behalf of remote readers).  The
+safety argument is shared and layout-free: a plane is fully written
+*before* its ref is registered, and a ref is evicted only when its slot
+is RETIRED with refcount zero — so no reader can ever observe a torn or
+vanished plane.
+"""
+
+from __future__ import annotations
+
+import threading
+from abc import ABC, abstractmethod
+from typing import Callable, List, Optional, Tuple
+
+from repro.errors import ConfigError
+
+#: slot states shared by every registry implementation
+FREE, LIVE, RETIRED = 0, 1, 2
+
+#: default slot-table capacity (bounds how many retired planes readers
+#: may pin concurrently before registration fails loudly)
+DEFAULT_SLOTS = 16
+
+
+class EpochRegistry(ABC):
+    """Abstract slot table: FREE/LIVE/RETIRED states, refcounts, reaping.
+
+    Reader ids are opaque hashable keys; the shm board restricts them to
+    small ints (its reap cells live in a fixed array), the local registry
+    accepts anything hashable (pool workers use ints, remote TCP readers
+    use server-assigned tokens).
+    """
+
+    # -- introspection ------------------------------------------------------
+
+    @abstractmethod
+    def generation(self) -> int:
+        """Registration counter — the reader's cheap staleness probe."""
+
+    @abstractmethod
+    def current_epoch(self) -> Optional[int]:
+        """Epoch of the current slot, or None before the first publish."""
+
+    @abstractmethod
+    def slots(self) -> List[Tuple[int, str, int, int, int]]:
+        """Snapshot of non-FREE slots: (slot, ref, epoch, refcount, state)."""
+
+    # -- writer protocol ----------------------------------------------------
+
+    @abstractmethod
+    def register(self, ref: str, epoch: int) -> int:
+        """Publish a fully materialized plane as the newest epoch.
+
+        Retires the previous current slot (evicted immediately when no
+        reader holds it, else by the last release) and bumps the
+        generation.  Returns the slot index used.
+        """
+
+    @abstractmethod
+    def release_reader(self, reader_id) -> None:
+        """Reap the slot held by a reader that died without releasing."""
+
+    @abstractmethod
+    def shutdown(self) -> None:
+        """Writer teardown: evict every remaining slot."""
+
+    # -- reader protocol ----------------------------------------------------
+
+    @abstractmethod
+    def acquire(self, reader_id) -> Optional[Tuple[int, int, int, str]]:
+        """Take a reference on the current plane.
+
+        Returns ``(generation, slot, epoch, ref)``, or None when nothing
+        has been registered yet.  The caller must pair this with
+        :meth:`release` (normal detach) — or die and be reaped via
+        :meth:`release_reader`.
+        """
+
+    @abstractmethod
+    def release(self, slot: int, reader_id=None) -> None:
+        """Drop a reference; the last release of a retired slot evicts."""
+
+
+class LocalRegistry(EpochRegistry):
+    """Writer-owned in-memory slot table (the TCP transport's registry).
+
+    Same semantics as the shm board, different substrate: the table lives
+    in the writer process and every mutation happens under one
+    ``threading.RLock`` (the TCP server mutates it from per-connection
+    threads).  ``on_evict(slot, ref)`` fires — under the lock — whenever a
+    slot is freed, so the owning transport can drop the plane payload the
+    ref points at.
+    """
+
+    def __init__(self, num_slots: int = DEFAULT_SLOTS,
+                 on_evict: Optional[Callable[[int, str], None]] = None) -> None:
+        if num_slots < 1:
+            raise ConfigError("num_slots must be >= 1")
+        self._lock = threading.RLock()
+        self._on_evict = on_evict
+        # slot -> [ref, epoch, refcount, state]
+        self._table: List[list] = [["", 0, 0, FREE] for _ in range(num_slots)]
+        self._generation = 0
+        self._current = -1
+        self._reader_slots: dict = {}
+
+    @property
+    def lock(self) -> threading.RLock:
+        """The mutation lock (the TCP server serializes payload access
+        under it too, so eviction and fetch can never interleave)."""
+        return self._lock
+
+    # -- introspection ------------------------------------------------------
+
+    def generation(self) -> int:
+        with self._lock:
+            return self._generation
+
+    def current_epoch(self) -> Optional[int]:
+        with self._lock:
+            if self._current < 0:
+                return None
+            return self._table[self._current][1]
+
+    def slots(self) -> List[Tuple[int, str, int, int, int]]:
+        with self._lock:
+            return [
+                (i, row[0], row[1], row[2], row[3])
+                for i, row in enumerate(self._table)
+                if row[3] != FREE
+            ]
+
+    def readers(self) -> dict:
+        """Which slot each known reader currently holds (reap bookkeeping)."""
+        with self._lock:
+            return dict(self._reader_slots)
+
+    # -- writer protocol ----------------------------------------------------
+
+    def register(self, ref: str, epoch: int) -> int:
+        with self._lock:
+            slot = -1
+            for i, row in enumerate(self._table):
+                if row[3] == FREE:
+                    slot = i
+                    break
+            if slot < 0:
+                raise ConfigError(
+                    "epoch registry is full: readers are holding "
+                    f"{len(self._table)} retired planes"
+                )
+            self._table[slot] = [ref, epoch, 0, LIVE]
+            old = self._current
+            if old >= 0:
+                self._table[old][3] = RETIRED
+                self._maybe_evict(old)
+            self._current = slot
+            self._generation += 1
+            return slot
+
+    def release_reader(self, reader_id) -> None:
+        with self._lock:
+            slot = self._reader_slots.pop(reader_id, -1)
+            if slot < 0:
+                return
+            self._table[slot][2] -= 1
+            self._maybe_evict(slot)
+
+    def shutdown(self) -> None:
+        with self._lock:
+            for i, row in enumerate(self._table):
+                if row[3] != FREE:
+                    ref = row[0]
+                    self._table[i] = ["", 0, 0, FREE]
+                    if self._on_evict is not None:
+                        self._on_evict(i, ref)
+            self._current = -1
+            self._reader_slots.clear()
+
+    # -- reader protocol ----------------------------------------------------
+
+    def acquire(self, reader_id) -> Optional[Tuple[int, int, int, str]]:
+        with self._lock:
+            slot = self._current
+            if slot < 0:
+                return None
+            row = self._table[slot]
+            row[2] += 1
+            if reader_id is not None:
+                self._reader_slots[reader_id] = slot
+            return (self._generation, slot, row[1], row[0])
+
+    def release(self, slot: int, reader_id=None) -> None:
+        with self._lock:
+            self._table[slot][2] -= 1
+            if reader_id is not None:
+                self._reader_slots.pop(reader_id, None)
+            self._maybe_evict(slot)
+
+    # -- internals ----------------------------------------------------------
+
+    def _maybe_evict(self, slot: int) -> None:
+        # Lock held.  RETIRED + refcount 0 means nobody can ever reach the
+        # ref again (readers only learn refs of the *current* slot), so the
+        # transport may drop the payload it points at.
+        row = self._table[slot]
+        if row[3] == RETIRED and row[2] <= 0:
+            ref = row[0]
+            self._table[slot] = ["", 0, 0, FREE]
+            if self._on_evict is not None:
+                self._on_evict(slot, ref)

@@ -1,24 +1,16 @@
-"""Dense-plane (de)serialization over named shared-memory segments.
+"""Dense planes over named shared-memory segments.
 
 One :class:`~repro.core.hub_index.DensePlane` becomes one
-``multiprocessing.shared_memory`` segment laid out as::
-
-    [0:8)    uint64  manifest length L
-    [8:16)   uint64  data_start (aligned offset of the first buffer)
-    [16:16+L)        manifest JSON (epoch, directedness, hubs, buffer table)
-    [data_start:...) the buffers themselves, each at a 64-byte-aligned
-                     offset *relative to data_start*
-
-The manifest records ``{name: {dtype, shape, offset}}`` for every buffer —
-CSR ``indptr/indices/weights`` (plus the ``rev_*`` triple when directed),
-the dense→caller id map, and the stacked hub cost matrices ``F`` (and ``B``
-when directed) — so attaching needs nothing but the segment name: map the
-segment, parse the manifest, wrap each buffer in a zero-copy numpy view.
-Attach cost is O(#buffers); the O(V+E) work (list caches, residual rows) is
-deferred to first use exactly as on the in-process plane.
+``multiprocessing.shared_memory`` segment holding exactly the byte format
+of :mod:`repro.serving.codec` — header, JSON manifest, then every buffer
+at a 64-byte-aligned offset.  Export encodes straight into the freshly
+created segment; attach decodes the mapped bytes into zero-copy numpy
+views, so attaching costs O(#buffers) and the O(V+E) work (list caches,
+residual rows) is deferred to first use exactly as on the in-process
+plane.
 
 Cleanup has three layers: explicit :meth:`ShmPlane.close`/``unlink``, the
-epoch board's refcounted unlink-on-last-detach (see
+epoch registry's refcounted unlink-on-last-detach (see
 :mod:`repro.serving.epoch`), and a module-level registry of every segment
 this process *created* that an ``atexit`` hook unlinks — so a crashed writer
 never strands segments in ``/dev/shm``.
@@ -27,14 +19,28 @@ never strands segments in ``/dev/shm``.
 from __future__ import annotations
 
 import atexit
-import json
 import os
 import threading
-from typing import Dict, Iterator, List, Optional, Tuple
+from typing import Dict, List, Optional
 
 import numpy as np
 
 from repro.errors import ConfigError
+from repro.serving.codec import (
+    PlaneGraph,
+    decode_plane,
+    encode_plane_into,
+    encoded_size,
+    materialize_plane,
+)
+
+__all__ = [
+    "PlaneGraph",
+    "ShmPlane",
+    "leaked_segments",
+    "shm_available",
+    "unlink_segment",
+]
 
 try:  # pragma: no cover - exercised only where shm is missing entirely
     from multiprocessing import resource_tracker, shared_memory
@@ -46,9 +52,6 @@ try:  # pragma: no cover - POSIX-only fast path for tracker-free unlinks
     import _posixshmem
 except ImportError:  # pragma: no cover
     _posixshmem = None
-
-_ALIGN = 64
-_FORMAT_VERSION = 1
 
 # Every segment name this process created and has not yet unlinked.  The
 # atexit sweep below is the backstop for writers that die without running
@@ -160,16 +163,12 @@ def leaked_segments(prefix: str) -> List[str]:
     return sorted(e for e in os.listdir(root) if e.startswith(prefix))
 
 
-def _aligned(offset: int) -> int:
-    return (offset + _ALIGN - 1) // _ALIGN * _ALIGN
-
-
 class ShmPlane:
     """One dense plane living in (or attached from) a shm segment.
 
-    Create with :meth:`export` (writer side — lays the plane's buffers into
-    a fresh segment) or :meth:`attach` (reader side — zero-copy views over
-    an existing segment).  :meth:`as_dense_plane` rebuilds a fully
+    Create with :meth:`export` (writer side — encodes the plane's buffers
+    into a fresh segment) or :meth:`attach` (reader side — zero-copy views
+    over an existing segment).  :meth:`as_dense_plane` rebuilds a fully
     functional :class:`~repro.core.hub_index.DensePlane` over the attached
     arrays; the engine then runs the same flat-array search as in-process.
     """
@@ -189,67 +188,16 @@ class ShmPlane:
         """Serialize ``plane`` into a fresh segment called ``name``.
 
         The segment is fully written before this returns, so registering its
-        name afterwards (the epoch board's job) can never expose a torn
+        name afterwards (the epoch registry's job) can never expose a torn
         plane to a reader.
         """
         if shared_memory is None:  # pragma: no cover
             raise ConfigError("multiprocessing.shared_memory is unavailable")
-        csr = plane.csr
-        tables = plane.tables
-        F, B = tables._stacked()
-        buffers: List[Tuple[str, np.ndarray]] = [
-            ("indptr", csr.indptr),
-            ("indices", csr.indices),
-            ("weights", csr.weights),
-            ("ids", np.asarray(csr.ids, dtype=np.int64)),
-            ("F", np.ascontiguousarray(F)),
-        ]
-        if csr.directed:
-            buffers += [
-                ("rev_indptr", csr.rev_indptr),
-                ("rev_indices", csr.rev_indices),
-                ("rev_weights", csr.rev_weights),
-            ]
-            if B is not F:
-                buffers.append(("B", np.ascontiguousarray(B)))
-        table: Dict[str, Dict] = {}
-        offset = 0
-        for buf_name, arr in buffers:
-            offset = _aligned(offset)
-            table[buf_name] = {
-                "dtype": str(arr.dtype),
-                "shape": list(arr.shape),
-                "offset": offset,
-            }
-            offset += arr.nbytes
-        manifest = {
-            "version": _FORMAT_VERSION,
-            "epoch": int(csr.epoch if epoch is None else epoch),
-            "directed": bool(csr.directed),
-            "n": csr.num_vertices,
-            "hubs": [int(h) for h in tables.hubs],
-            "buffers": table,
-        }
-        mbytes = json.dumps(manifest, separators=(",", ":")).encode("ascii")
-        data_start = _aligned(16 + len(mbytes))
-        total = max(data_start + offset, 1)
+        total = encoded_size(plane, epoch)
         shm = shared_memory.SharedMemory(create=True, size=total, name=name)
         _created.add(name)
         _untrack(name)
-        buf = shm.buf
-        np.frombuffer(buf, dtype=np.uint64, count=2)[:] = (
-            len(mbytes), data_start,
-        )
-        buf[16:16 + len(mbytes)] = mbytes
-        arrays: Dict[str, np.ndarray] = {}
-        for buf_name, arr in buffers:
-            spec = table[buf_name]
-            view = np.frombuffer(
-                buf, dtype=arr.dtype, count=arr.size,
-                offset=data_start + spec["offset"],
-            ).reshape(arr.shape)
-            view[...] = arr
-            arrays[buf_name] = view
+        manifest, arrays = encode_plane_into(plane, shm.buf, epoch=epoch)
         return cls(shm, manifest, arrays, created=True)
 
     @classmethod
@@ -260,27 +208,11 @@ class ShmPlane:
         The views are marked read-only — readers share the writer's bytes.
         """
         shm = _attach_segment(name)
-        buf = shm.buf
-        header = np.frombuffer(buf, dtype=np.uint64, count=2)
-        mlen, data_start = int(header[0]), int(header[1])
-        manifest = json.loads(bytes(buf[16:16 + mlen]).decode("ascii"))
-        if manifest.get("version") != _FORMAT_VERSION:
+        try:
+            manifest, arrays = decode_plane(shm.buf)
+        except ConfigError:
             shm.close()
-            raise ConfigError(
-                f"segment {name!r} has format version "
-                f"{manifest.get('version')!r}, expected {_FORMAT_VERSION}"
-            )
-        arrays: Dict[str, np.ndarray] = {}
-        for buf_name, spec in manifest["buffers"].items():
-            count = 1
-            for dim in spec["shape"]:
-                count *= dim
-            view = np.frombuffer(
-                buf, dtype=np.dtype(spec["dtype"]), count=count,
-                offset=data_start + spec["offset"],
-            ).reshape(spec["shape"])
-            view.flags.writeable = False
-            arrays[buf_name] = view
+            raise
         return cls(shm, manifest, arrays, created=False)
 
     # -- introspection ------------------------------------------------------
@@ -313,35 +245,9 @@ class ShmPlane:
     # -- plane reconstruction ----------------------------------------------
 
     def as_dense_plane(self):
-        """A :class:`DensePlane` over the attached buffers (memoized).
-
-        The CSR adopts the views directly; hub tables adopt the stacked
-        matrices.  List caches (``out_lists`` / ``rows_as_lists``) build
-        lazily at first query, as everywhere else.
-        """
+        """A :class:`DensePlane` over the attached buffers (memoized)."""
         if self._plane is None:
-            from repro.core.hub_index import DenseHubTables, DensePlane
-            from repro.graph.csr import CSRGraph
-
-            a = self._arrays
-            directed = self.directed
-            csr = CSRGraph.from_arrays(
-                indptr=a["indptr"],
-                indices=a["indices"],
-                weights=a["weights"],
-                vertex_ids=a["ids"].tolist(),
-                directed=directed,
-                epoch=self.epoch,
-                rev_indptr=a.get("rev_indptr"),
-                rev_indices=a.get("rev_indices"),
-                rev_weights=a.get("rev_weights"),
-            )
-            F = a["F"]
-            B = a.get("B", F)
-            tables = DenseHubTables.from_matrices(
-                self._manifest["hubs"], F, B, ids=csr.ids, directed=directed,
-            )
-            self._plane = DensePlane(csr, tables)
+            self._plane = materialize_plane(self._manifest, self._arrays)
         return self._plane
 
     # -- lifecycle ----------------------------------------------------------
@@ -369,41 +275,3 @@ class ShmPlane:
             f"ShmPlane({self.name!r}, epoch={self.epoch}, "
             f"{self.nbytes} bytes, {kind})"
         )
-
-
-class PlaneGraph:
-    """Minimal traversal-protocol adapter over an attached CSR.
-
-    Worker processes have no :class:`DynamicGraph` — only the plane.  The
-    engine needs ``has_vertex`` for endpoint validation (the dense search
-    itself walks the CSR directly); ``out_items``/``in_items`` complete the
-    protocol for any dict-path fallback, translating through the id map.
-    """
-
-    __slots__ = ("_csr",)
-
-    def __init__(self, csr) -> None:
-        self._csr = csr
-
-    @property
-    def directed(self) -> bool:
-        return self._csr.directed
-
-    @property
-    def num_vertices(self) -> int:
-        return self._csr.num_vertices
-
-    def has_vertex(self, vertex: int) -> bool:
-        return vertex in self._csr.dense_map
-
-    def out_items(self, vertex: int) -> Iterator[Tuple[int, float]]:
-        csr = self._csr
-        ids = csr.ids
-        for u, w in csr.out_arcs(csr.dense_id(vertex)):
-            yield ids[u], w
-
-    def in_items(self, vertex: int) -> Iterator[Tuple[int, float]]:
-        csr = self._csr
-        ids = csr.ids
-        for u, w in csr.in_arcs(csr.dense_id(vertex)):
-            yield ids[u], w

@@ -1,0 +1,248 @@
+"""Transport layer: how published planes travel from writer to readers.
+
+The epoch-handoff protocol (:mod:`repro.serving.registry`) and the plane
+byte format (:mod:`repro.serving.codec`) say nothing about *where* the
+bytes live.  A :class:`PlaneTransport` decides that:
+
+* writer side — :meth:`PlaneTransport.publish_plane` materializes one
+  encoded plane per epoch and registers its ref with the transport's
+  :class:`~repro.serving.registry.EpochRegistry`;
+* reader side — a picklable :class:`ReaderSpec` travels into each reader
+  process, whose :meth:`~ReaderSpec.connect` yields a
+  :class:`PlaneClient`: ``generation()`` is the cheap staleness probe and
+  ``acquire()`` returns a :class:`PlaneLease` pinning one epoch's
+  materialized :class:`~repro.core.hub_index.DensePlane` until released.
+
+:class:`ShmTransport` is the one-box implementation — each plane encoded
+once into a named POSIX shared-memory segment that readers map zero-copy
+(see :mod:`repro.serving.shm_plane`).  :class:`repro.serving.net.NetTransport`
+ships the same bytes over a length-prefixed TCP protocol to readers on
+any host, which cache each fetched plane locally (fetch-on-publish).
+:class:`~repro.serving.pool.WorkerPool` and
+:class:`~repro.serving.pool.ServeSession` are generic over this interface.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Callable, Dict, Optional
+
+from repro.errors import ConfigError
+from repro.serving.epoch import EpochBoard
+from repro.serving.registry import EpochRegistry
+from repro.serving.shm_plane import ShmPlane
+
+
+class PlaneLease:
+    """One acquired plane: pinned epoch state plus the release hook."""
+
+    __slots__ = ("generation", "slot", "epoch", "plane", "_release")
+
+    def __init__(self, generation: int, slot: int, epoch: int, plane,
+                 release: Callable[[], None]) -> None:
+        self.generation = generation
+        self.slot = slot
+        self.epoch = epoch
+        self.plane = plane
+        self._release = release
+
+    def release(self) -> None:
+        """Return the refcount (and unmap, where the transport maps).
+
+        Callers must drop every reference into ``plane`` (engines, array
+        views) *before* releasing, or a mapped transport cannot unmap.
+        The lease drops its own ``plane`` reference here for the same
+        reason.
+        """
+        release, self._release = self._release, None
+        self.plane = None
+        if release is not None:
+            release()
+
+
+class PlaneClient(ABC):
+    """Reader-side endpoint of one transport, bound to one reader id."""
+
+    @abstractmethod
+    def generation(self) -> int:
+        """Registry generation — compare with a held lease's to detect
+        staleness between requests."""
+
+    @abstractmethod
+    def acquire(self) -> Optional[PlaneLease]:
+        """Pin and materialize the current epoch's plane (None when the
+        writer has not published yet)."""
+
+    @abstractmethod
+    def close(self) -> None:
+        """Drop the client's own transport footprint (board mapping,
+        socket).  Leases must be released first."""
+
+
+class ReaderSpec(ABC):
+    """Picklable recipe a reader process turns into a :class:`PlaneClient`.
+
+    Travels through ``multiprocessing.Process`` args (fork or spawn), so
+    it may carry only picklable state — names, addresses, and
+    multiprocessing primitives, never mapped segments or sockets.
+    """
+
+    @abstractmethod
+    def connect(self, reader_id) -> PlaneClient:
+        """Open this reader's endpoint (called inside the reader process)."""
+
+
+class PlaneTransport(ABC):
+    """Writer-side handle: publish planes, hand out reader specs."""
+
+    #: short tag for logs / stats rows ("shm", "tcp")
+    kind: str = "?"
+
+    @property
+    @abstractmethod
+    def registry(self) -> EpochRegistry:
+        """The slot table this transport registers planes on."""
+
+    @abstractmethod
+    def publish_plane(self, plane, epoch: int) -> bool:
+        """Encode + register one epoch's plane; False when that epoch was
+        already published (republish is a no-op end to end)."""
+
+    @abstractmethod
+    def reader_spec(self) -> ReaderSpec:
+        """The spec reader processes use to reach this transport."""
+
+    @abstractmethod
+    def describe(self) -> str:
+        """Human-readable endpoint ("shm segments rp…*", "tcp host:port")."""
+
+    def release_reader(self, reader_id) -> None:
+        """Reap a dead reader's refcount (idempotent)."""
+        self.registry.release_reader(reader_id)
+
+    @abstractmethod
+    def close(self) -> None:
+        """Tear down every plane this transport materialized."""
+
+
+# ---------------------------------------------------------------------------
+# Shared-memory implementation (the PR-4 path, unchanged behaviour)
+# ---------------------------------------------------------------------------
+
+
+class ShmReaderSpec(ReaderSpec):
+    """Board name + the shared lock, inherited through process creation."""
+
+    def __init__(self, board_name: str, lock) -> None:
+        self.board_name = board_name
+        self.lock = lock
+
+    def connect(self, reader_id) -> "ShmClient":
+        return ShmClient(
+            EpochBoard.attach(self.board_name, self.lock), int(reader_id)
+        )
+
+
+class ShmClient(PlaneClient):
+    """Reader endpoint over the shm board: attach segments by name."""
+
+    def __init__(self, board: EpochBoard, reader_id: int) -> None:
+        self._board = board
+        self._reader_id = reader_id
+
+    def generation(self) -> int:
+        return self._board.generation()
+
+    def acquire(self) -> Optional[PlaneLease]:
+        board = self._board
+        reader_id = self._reader_id
+        got = board.acquire(reader_id)
+        if got is None:
+            return None
+        generation, slot, epoch, seg_name = got
+        try:
+            handle = ShmPlane.attach(seg_name)
+        except FileNotFoundError:
+            board.release(slot, worker_id=reader_id)
+            return None
+        plane = handle.as_dense_plane()
+
+        def release() -> None:
+            # The engine and plane hold numpy views into the mapping; the
+            # caller dropped its references, but stray cycles would defer
+            # the munmap to interpreter shutdown — collect first.
+            import gc
+
+            gc.collect()
+            handle.close()
+            board.release(slot, worker_id=reader_id)
+
+        return PlaneLease(generation, slot, epoch, plane, release)
+
+    def close(self) -> None:
+        self._board.detach()
+
+
+class ShmTransport(PlaneTransport):
+    """One named shm segment per epoch; readers map the writer's bytes."""
+
+    kind = "shm"
+
+    def __init__(self, prefix: str, num_workers: int, ctx) -> None:
+        self._prefix = prefix
+        self._num_workers = num_workers
+        self._lock = ctx.Lock()
+        self._board = EpochBoard.create(
+            prefix + "board", num_workers=num_workers, lock=self._lock,
+        )
+        self._exports: Dict[int, ShmPlane] = {}
+
+    @property
+    def registry(self) -> EpochBoard:
+        return self._board
+
+    @property
+    def prefix(self) -> str:
+        """Name prefix of every segment this transport creates."""
+        return self._prefix
+
+    def publish_plane(self, plane, epoch: int) -> bool:
+        if epoch in self._exports:
+            return False
+        name = f"{self._prefix}e{epoch}"
+        handle = ShmPlane.export(plane, name, epoch=epoch)
+        self._exports[epoch] = handle
+        self._board.register(name, epoch)
+        return True
+
+    def reader_spec(self) -> ShmReaderSpec:
+        return ShmReaderSpec(self._board.name, self._lock)
+
+    def describe(self) -> str:
+        return f"shm segments {self._prefix}*"
+
+    def close(self) -> None:
+        for worker_id in range(self._num_workers):
+            self._board.release_worker(worker_id)
+        for handle in self._exports.values():
+            handle.close()
+        self._exports = {}
+        self._board.shutdown()
+
+
+# ---------------------------------------------------------------------------
+
+
+def make_transport(kind: str, prefix: str, num_workers: int, ctx,
+                   **options) -> PlaneTransport:
+    """Construct the writer-side transport for ``kind`` ("shm" or "tcp")."""
+    if kind == "shm":
+        if options:
+            bad = ", ".join(sorted(options))
+            raise ConfigError(f"shm transport takes no options: {bad}")
+        return ShmTransport(prefix, num_workers, ctx)
+    if kind == "tcp":
+        from repro.serving.net import NetTransport
+
+        return NetTransport(num_workers=num_workers, **options)
+    raise ConfigError(f"unknown transport {kind!r}; known: shm, tcp")

@@ -1,0 +1,112 @@
+"""The backend="auto" startup probe (``SGraphConfig(auto_probe=True)``).
+
+Contract: with the probe off, the crossover uses the compiled-in
+:data:`AUTO_DENSE_QUERY_RATIO` constant; with it on, the first publish
+runs one timed probe (cold dense build vs per-query dict/dense gap) and
+every later crossover decision uses the measured, clamped ratio.  The
+probe runs once, falls back to the constant on unmeasurable graphs, and
+never perturbs the EMA its result feeds.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core.config import SGraphConfig
+from repro.graph.dynamic_graph import DynamicGraph
+from repro.sgraph import (
+    AUTO_DENSE_QUERY_RATIO,
+    AUTO_PROBE_MAX_RATIO,
+    AUTO_PROBE_MIN_RATIO,
+    SGraph,
+)
+from repro.streaming.versioning import VersionedStore
+
+
+def _graph(seed: int = 0, n: int = 80, m: int = 240) -> DynamicGraph:
+    rng = random.Random(seed)
+    g = DynamicGraph()
+    for v in range(n):
+        g.add_vertex(v)
+    added = 0
+    while added < m:
+        u, v = rng.randrange(n), rng.randrange(n)
+        if u == v or g.has_edge(u, v):
+            continue
+        g.add_edge(u, v, rng.uniform(0.5, 3.0))
+        added += 1
+    return g
+
+
+def test_default_is_compiled_in_constant():
+    sg = SGraph(graph=_graph(), config=SGraphConfig(num_hubs=4))
+    assert sg.auto_ratio == AUTO_DENSE_QUERY_RATIO
+    VersionedStore(sg).publish()
+    # probe disabled: publishing measures nothing
+    assert sg.auto_ratio == AUTO_DENSE_QUERY_RATIO
+    assert sg._auto_ratio is None
+
+
+def test_probe_runs_once_at_first_publish(monkeypatch):
+    sg = SGraph(graph=_graph(1),
+                config=SGraphConfig(num_hubs=4, auto_probe=True))
+    calls = []
+    real = SGraph._probe_auto_ratio
+
+    def counting(self):
+        calls.append(1)
+        return real(self)
+
+    monkeypatch.setattr(SGraph, "_probe_auto_ratio", counting)
+    store = VersionedStore(sg)
+    store.publish()
+    assert len(calls) == 1
+    assert AUTO_PROBE_MIN_RATIO <= sg.auto_ratio <= AUTO_PROBE_MAX_RATIO
+    first = sg.auto_ratio
+    sg.add_edge(0, 79, 0.2)
+    store.publish()
+    assert len(calls) == 1  # one-shot: later publishes reuse the measurement
+    assert sg.auto_ratio == first
+
+
+def test_probe_does_not_perturb_ema():
+    sg = SGraph(graph=_graph(2),
+                config=SGraphConfig(num_hubs=4, auto_probe=True))
+    VersionedStore(sg).publish()
+    # the probe queried engines directly; the crossover saw zero queries
+    assert sg._auto_queries == 0
+    assert sg._auto_ema == 0.0
+
+
+def test_probe_skipped_for_non_auto_backend():
+    sg = SGraph(graph=_graph(3),
+                config=SGraphConfig(num_hubs=4, auto_probe=True,
+                                    backend="dense"))
+    VersionedStore(sg).publish()
+    assert sg._auto_ratio is None
+
+
+def test_probe_falls_back_on_unmeasurable_graph():
+    sg = SGraph(config=SGraphConfig(num_hubs=4, auto_probe=True))
+    sg.add_vertex(0)
+    VersionedStore(sg).publish()
+    assert sg.auto_ratio == AUTO_DENSE_QUERY_RATIO
+
+
+@pytest.mark.parametrize("ratio,backend", [(1.0, "dense"), (64.0, "dict")])
+def test_crossover_uses_probed_ratio(ratio, backend):
+    sg = SGraph(graph=_graph(4), config=SGraphConfig(num_hubs=4))
+    sg.rebuild_indexes()
+    sg._auto_ratio = ratio
+    # one pending query against a fresh EMA: crosses over iff ratio <= 1
+    assert sg.serving_backend("distance") == backend
+
+
+def test_probed_ratio_drives_note_query():
+    sg = SGraph(graph=_graph(5), config=SGraphConfig(num_hubs=4))
+    sg.rebuild_indexes()
+    sg._auto_ratio = 2.0
+    assert not sg._note_query()  # 1st query: below the measured ratio
+    assert sg._note_query()      # 2nd query reaches it

@@ -1,0 +1,268 @@
+"""TCP plane transport: differential parity vs shm, fetch-on-publish, reap.
+
+The contract mirrors the shm suite's, plus two transport-specific claims:
+(1) a loopback :class:`NetTransport` pool answers *bit-identically*
+(values and stats counters) to a :class:`ShmTransport` pool serving the
+same store across a multi-epoch publish sequence; (2) each published
+plane's buffers cross the socket **exactly once per reader** — queries
+after the first hit the reader's digest-keyed cache — and a reader that
+dies without releasing is reaped by the server, returning its refcount.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+
+import pytest
+
+from repro.core.config import SGraphConfig
+from repro.graph.dynamic_graph import DynamicGraph
+from repro.serving import shm_available
+from repro.serving.net import NetReader, net_available
+from repro.serving.pool import ServeSession
+from repro.serving.registry import RETIRED
+from repro.sgraph import SGraph
+from repro.streaming.versioning import VersionedStore
+
+pytestmark = [
+    pytest.mark.net,
+    pytest.mark.skipif(not net_available(),
+                       reason="loopback TCP sockets unavailable"),
+]
+
+
+def _random_graph(seed: int, directed: bool = False, n: int = 60,
+                  m: int = 180) -> DynamicGraph:
+    rng = random.Random(seed)
+    g = DynamicGraph(directed=directed)
+    for v in range(n):
+        g.add_vertex(v)
+    added = 0
+    while added < m:
+        u, v = rng.randrange(n - 3), rng.randrange(n - 3)
+        if u == v or g.has_edge(u, v):
+            continue
+        g.add_edge(u, v, rng.uniform(0.5, 3.0))
+        added += 1
+    return g
+
+
+def _sgraph(seed: int, directed: bool = False) -> SGraph:
+    return SGraph(graph=_random_graph(seed, directed),
+                  config=SGraphConfig(num_hubs=6, queries=("distance",)))
+
+
+def _stats_tuple(stats):
+    return (
+        stats.activations,
+        stats.pushes,
+        stats.relaxations,
+        stats.pruned_by_upper_bound,
+        stats.pruned_by_lower_bound,
+        stats.answered_by_index,
+    )
+
+
+def _wait_until(predicate, timeout: float = 5.0) -> bool:
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if predicate():
+            return True
+        time.sleep(0.02)
+    return predicate()
+
+
+class TestTransportDifferential:
+    @pytest.mark.skipif(not shm_available(),
+                        reason="POSIX shared memory unavailable")
+    def test_tcp_bit_identical_to_shm_across_epochs(self):
+        """One store, two transports, three epochs: every answer agrees.
+
+        Both sessions subscribe to the same :class:`VersionedStore`, so
+        each publish hands the identical plane to the shm segments and the
+        TCP payload store.  Each round fans the same query batch through
+        both pools; values AND stats counters must match pair for pair,
+        and afterwards the TCP server must have shipped each plane's
+        buffers exactly once per reader.
+        """
+        sg = _sgraph(61)
+        store = VersionedStore(sg)
+        rng = random.Random(7)
+        verts = sorted(sg.graph.vertices())
+        with ServeSession(sg, workers=2, store=store) as shm_sess, \
+                ServeSession(sg, workers=2, store=store,
+                             transport="tcp") as net_sess:
+            epochs = []
+            for round_no in range(3):
+                if round_no:
+                    u, v = rng.sample(verts[:40], 2)
+                    sg.add_edge(u, v, rng.uniform(0.1, 0.4))
+                    shm_sess.publish()  # one publish reaches both transports
+                epochs.append(store.latest().epoch)
+                pairs = [tuple(rng.sample(verts, 2)) for _ in range(24)]
+                for s, t in pairs:
+                    shm_value, shm_stats, shm_epoch = shm_sess.distance(s, t)
+                    net_value, net_stats, net_epoch = net_sess.distance(s, t)
+                    assert net_value == shm_value
+                    assert _stats_tuple(net_stats) == _stats_tuple(shm_stats)
+                    assert net_epoch == shm_epoch == epochs[-1]
+            assert len(set(epochs)) == 3
+            counts = net_sess.transport.server.fetch_counts()
+            # every pool reader fetched every epoch's plane exactly once
+            assert len(counts) == 2
+            for per_digest in counts.values():
+                assert len(per_digest) == len(epochs)
+                assert all(n == 1 for n in per_digest.values())
+
+    def test_batched_verbs_match_view(self):
+        sg = _sgraph(62)
+        with sg.serve(workers=2, transport="tcp") as session:
+            view = session.store.latest()
+            values, _stats, epoch = session.distance_many(
+                0, list(range(1, 30)), chunk_size=8,
+            )
+            expected = view.distance_many(0, list(range(1, 30)))
+            # per-slice searches may answer a target from the hub index,
+            # whose bound sums round differently than the full batch's
+            # path accumulation — equality is to float tolerance here,
+            # bit-identity is the transport-vs-transport claim above
+            assert values.keys() == expected.keys()
+            for t in expected:
+                assert values[t] == pytest.approx(expected[t])
+            assert epoch == view.epoch
+            nn, _ = session.nearest(0, 5)
+            assert [d for _, d in nn] == [d for _, d in view.nearest(0, 5)]
+
+
+class TestFetchOnPublish:
+    def test_cached_plane_not_refetched(self):
+        sg = _sgraph(63)
+        with sg.serve(workers=1, transport="tcp") as session:
+            for _ in range(10):
+                session.distance(0, 1)
+            counts = session.transport.server.fetch_counts()
+            assert list(counts[str(0)].values()) == [1]
+
+    def test_lru_bound_evicts_and_refetches(self):
+        """With cache_planes=1 a reader bounced between epochs refetches."""
+        sg = _sgraph(64)
+        verts = sorted(sg.graph.vertices())
+        with sg.serve(workers=1, transport="tcp",
+                      cache_planes=1) as session:
+            session.distance(0, 1)
+            sg.add_edge(verts[0], verts[-1], 0.2)
+            session.publish()
+            session.distance(0, 1)
+            counts = session.transport.server.fetch_counts()
+            # two distinct planes fetched once each; the 1-plane LRU held
+            # only the newest at any time
+            assert sorted(counts[str(0)].values()) == [1, 1]
+
+    def test_digest_verification_rejects_corruption(self):
+        from repro.errors import QueryError
+        from repro.serving.net import NetClient
+
+        sg = _sgraph(65)
+        with sg.serve(workers=1, transport="tcp") as session:
+            server = session.transport.server
+            with server.registry.lock:
+                slot = next(iter(server._payloads))
+                payload, digest, epoch = server._payloads[slot]
+                tampered = bytearray(payload)
+                tampered[-1] ^= 0xFF
+                server._payloads[slot] = (bytes(tampered), digest, epoch)
+            client = NetClient(server.host, server.port)
+            try:
+                with pytest.raises(QueryError, match="digest"):
+                    client.acquire()
+            finally:
+                client.close()
+
+
+class TestReaderReaping:
+    def test_killed_reader_is_reaped_and_plane_evicted(self):
+        """SIGKILL a pool worker mid-hold: its socket closes, the server
+        reaps its refcount, and the plane it pinned is evicted once
+        retired."""
+        sg = _sgraph(66)
+        verts = sorted(sg.graph.vertices())
+        with sg.serve(workers=2, transport="tcp") as session:
+            registry = session.transport.registry
+            # both workers answer (and therefore hold) the first epoch
+            for _ in range(4):
+                session.distance(0, 1)
+            assert sum(rc for _s, _r, _e, rc, _st in registry.slots()) == 2
+            session.pool.kill_worker(0)
+            # the dead worker's connection drops; the server-side reap runs
+            # in the connection thread's finally block
+            assert _wait_until(
+                lambda: sum(rc for _s, _r, _e, rc, _st
+                            in registry.slots()) <= 1
+            )
+            # retire the held epoch; the survivor moves on and the old
+            # plane's payload must be evicted (refcount reached zero)
+            sg.add_edge(verts[0], verts[-1], 0.2)
+            session.publish()
+            session.distance(0, 1)
+            assert _wait_until(
+                lambda: not any(st == RETIRED for _s, _r, _e, _rc, st
+                                in registry.slots())
+            )
+            with session.transport.server.registry.lock:
+                payloads = dict(session.transport.server._payloads)
+            assert len(payloads) == 1  # only the live epoch's plane remains
+            value, _stats, _epoch = session.distance(0, 1)
+            assert value > 0
+
+    def test_session_reap_is_idempotent_with_server_reap(self):
+        sg = _sgraph(67)
+        with sg.serve(workers=2, transport="tcp") as session:
+            session.distance(0, 1)
+            session.pool.kill_worker(1)
+            _wait_until(lambda: len(session.transport.registry.readers()) <= 1)
+            assert session.reap() == [1]  # no double-decrement blowup
+            value, _stats, _epoch = session.distance(0, 1)
+            assert value > 0
+
+
+class TestNetReader:
+    def test_standalone_reader_matches_view_and_refreshes(self):
+        sg = _sgraph(68)
+        verts = sorted(sg.graph.vertices())
+        with sg.serve(workers=1, transport="tcp") as session:
+            view = session.store.latest()
+            with NetReader(session.transport.address) as reader:
+                assert reader.refresh() == view.epoch
+                rng = random.Random(5)
+                for _ in range(20):
+                    s, t = rng.sample(verts, 2)
+                    value, _stats, epoch = reader.distance(s, t)
+                    assert value == view.distance(s, t).value
+                    assert epoch == view.epoch
+                values, _stats, _epoch = reader.distance_many(
+                    0, list(range(1, 20))
+                )
+                assert values == view.distance_many(0, list(range(1, 20)))
+                # writer publishes; the reader's next query adopts it
+                sg.add_edge(verts[0], verts[-1], 0.15)
+                new_view = session.publish()
+                value, _stats, epoch = reader.distance(verts[0], verts[-1])
+                assert epoch == new_view.epoch
+                assert value == pytest.approx(0.15)
+            # context exit released the lease and closed the socket; the
+            # server forgets the reader
+            assert _wait_until(
+                lambda: all(
+                    str(r).startswith("w") or isinstance(r, int)
+                    for r in session.transport.registry.readers()
+                )
+            )
+
+    def test_bad_address_raises(self):
+        from repro.errors import ConfigError
+
+        with pytest.raises(ConfigError):
+            NetReader("not-an-address")
+        with pytest.raises(ConfigError):
+            NetReader("127.0.0.1:1")  # nothing listening

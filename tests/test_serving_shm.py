@@ -155,6 +155,53 @@ class TestServeSessionParity:
             within, _ = session.within(0, 2.5)
             assert sorted(within) == sorted(view.within(0, 2.5))
 
+    def test_chunked_distance_many_matches_single_requests(self):
+        """The fan-out merge is exactly the sum of its single-request parts.
+
+        Slicing the target list at chunk boundaries and asking each slice
+        as its own (single-worker-path) request must reproduce the chunked
+        fan-out bit for bit: disjoint value union, summed counters,
+        ``answered_by_index`` AND-ed.
+        """
+        sg = _sgraph(24)
+        targets = list(range(1, 42))
+        chunk = 10
+        with sg.serve(workers=3, chunk=chunk) as session:
+            merged_values, merged_stats, merged_epoch = session.distance_many(
+                0, targets
+            )
+            assert merged_epoch == session.store.latest().epoch
+            expected_values = {}
+            expected = (0, 0, 0, 0, 0, True)
+            for i in range(0, len(targets), chunk):
+                part = targets[i:i + chunk]
+                values, stats, epoch = session.distance_many(0, part)
+                assert epoch == merged_epoch
+                expected_values.update(values)
+                s = _stats_tuple(stats)
+                expected = tuple(a + b for a, b in zip(expected[:5], s[:5])
+                                 ) + (expected[5] and s[5],)
+            assert merged_values == expected_values
+            assert _stats_tuple(merged_stats) == expected
+            # and the values agree with the frozen view's full batch
+            view_values = session.store.latest().distance_many(0, targets)
+            for t, v in view_values.items():
+                assert merged_values[t] == pytest.approx(v)
+
+    def test_chunk_knob_and_stats_row(self):
+        sg = _sgraph(25)
+        with sg.serve(workers=1, chunk=5) as session:
+            assert session.chunk == 5
+            row = session.stats_row()
+            assert row["transport"] == "shm"
+            assert row["chunk"] == 5
+            assert row["workers"] == row["alive"] == 1
+            assert row["epoch"] == session.store.latest().epoch
+            assert row["slots_held"] >= 1
+        from repro.errors import ConfigError
+        with pytest.raises(ConfigError):
+            sg.serve(workers=1, chunk=0)
+
     def test_unreachable_and_bad_endpoint(self):
         sg = _sgraph(23)
         with sg.serve(workers=1) as session:
