@@ -1223,6 +1223,197 @@ def run_e22_net_serving(
 
 
 # ---------------------------------------------------------------------------
+# E23 (extension) — delta-encoded plane sync: O(Δ) epoch visibility
+# ---------------------------------------------------------------------------
+
+def _slack_edges(plane, edges):
+    """Edges on no hub's shortest-path tree.
+
+    ``(u, v, w)`` is slack when every hub ``h`` has
+    ``|d(h,u) - d(h,v)| < w``: the edge is strictly longer than the
+    detour both ways, so *increasing* its weight cannot change any hub
+    distance — the F table stays bit-identical and only the CSR weights
+    buffer churns.  This is the evolving-graph common case (most weight
+    updates land off the index's shortest-path trees) and the byte-local
+    churn the chunk-addressed delta is built for.
+    """
+    import numpy as np
+
+    F, _B = plane.tables._stacked()
+    dense = plane.csr.dense_map
+    out = []
+    for u, v, w in edges:
+        if np.all(np.abs(F[:, dense[u]] - F[:, dense[v]]) < w - 1e-9):
+            out.append((u, v, w))
+    return out
+
+
+def run_e23_delta_sync(
+    epochs: Optional[int] = None,
+    churn_fraction: float = 0.01,
+) -> List[Row]:
+    """Bytes-per-epoch and visibility latency of delta plane sync.
+
+    Two churn regimes, each over a ``delta=True`` TCP session with one
+    delta-fetching and one full-fetching :class:`NetReader` attached:
+
+    * ``local`` (road-grid) — per epoch, ~1% of edges inside one
+      contiguous vertex-id window are re-weighted *upward*, restricted to
+      slack edges (see :func:`_slack_edges`) so the hub table is provably
+      unchanged and the churn is byte-local in the CSR weights buffer.
+      This is the O(Δ) claim the delta codec makes: the per-epoch
+      ``ratio`` column (delta frame bytes / full encoding bytes) must
+      stay well under 0.10 — the bench asserts it.
+    * ``scattered`` (social-pl) — ~1% of edges anywhere are re-weighted
+      to fresh values.  Distance changes ripple through the hub table
+      and dirty chunks everywhere; the ratio is reported (not asserted)
+      as the adversarial bound on what delta sync can save.
+
+    Hubs are degree-selected in both regimes so weight-only churn cannot
+    flip the hub set between publishes (a hub swap rewrites F wholesale —
+    that case is exactly what the full-frame fallback is for).  The
+    ``summary`` row carries the reader's cumulative transfer counters and
+    an untimed parity pass at the final epoch: every delta-composed
+    answer must equal the in-process view's (the frame compose is
+    digest-verified, so a mismatch would have raised long before).  The
+    ``evict-fallback`` rows force ``cache_planes=1`` and two publishes
+    per refresh, so the reader's base digest is always evicted server
+    side: every fetch must degrade to a full frame, never an error.
+    ``REPRO_E23_EPOCHS`` overrides the per-regime epoch count — CI smoke
+    uses 2.
+    """
+    from repro.serving.codec import encoded_size
+    from repro.serving.net import NetReader, net_available
+
+    if not net_available():  # pragma: no cover - socketless sandboxes only
+        return [{"dataset": "-", "mode": "unavailable"}]
+    if epochs is None:
+        env = os.environ.get("REPRO_E23_EPOCHS", "")
+        epochs = int(env) if env.strip() else 4
+
+    rows: List[Row] = []
+    for dataset, regime in (("road-grid", "local"),
+                            ("social-pl", "scattered")):
+        sg = SGraph(graph=load_dataset(dataset), config=SGraphConfig(
+            num_hubs=16, hub_strategy="degree", queries=("distance",),
+        ))
+        g = sg.graph
+        m = g.num_edges
+        churn_n = max(1, int(m * churn_fraction))
+        rng = random.Random(41)
+        verts = sorted(g.vertices())
+        session = sg.serve(workers=1, transport="tcp", delta=True)
+        try:
+            delta_reader = NetReader(session.transport.address, delta=True)
+            full_reader = NetReader(session.transport.address)
+            try:
+                delta_reader.refresh()  # bootstrap fetches, untimed
+                full_reader.refresh()
+                for epoch_no in range(epochs):
+                    edges = sorted(g.edges())
+                    if regime == "local":
+                        plane = session.store.latest().dense_plane(
+                            "distance")
+                        span = max(2, len(verts) // 12)
+                        lo = rng.randrange(len(verts) - span)
+                        window = set(verts[lo:lo + span])
+                        pool = _slack_edges(plane, [
+                            e for e in edges
+                            if e[0] in window and e[1] in window
+                        ])
+                        chosen = pool[:churn_n]
+                        for u, v, w in chosen:
+                            sg.add_edge(u, v, w + rng.uniform(0.05, 0.3))
+                    else:
+                        chosen = rng.sample(edges, churn_n)
+                        for u, v, _w in chosen:
+                            sg.add_edge(u, v, rng.uniform(0.5, 3.0))
+                    before = delta_reader.transfer_stats()
+                    view = session.publish()
+                    full_nbytes = encoded_size(
+                        view.dense_plane("distance"), epoch=view.epoch)
+                    t0 = time.perf_counter()
+                    delta_reader.refresh()
+                    delta_s = time.perf_counter() - t0
+                    t0 = time.perf_counter()
+                    full_reader.refresh()
+                    full_s = time.perf_counter() - t0
+                    after = delta_reader.transfer_stats()
+                    moved = (after["bytes_received"]
+                             - before["bytes_received"])
+                    rows.append({
+                        "dataset": dataset, "mode": f"{regime}-churn",
+                        "epoch": epoch_no + 1,
+                        "churn_pct": round(100.0 * len(chosen) / m, 2),
+                        "full_kb": round(full_nbytes / 1024, 1),
+                        "delta_kb": round(moved / 1024, 1),
+                        "ratio": round(moved / full_nbytes, 3),
+                        "delta_refresh_ms": _ms(delta_s),
+                        "full_refresh_ms": _ms(full_s),
+                    })
+                # untimed parity pass at the final epoch
+                final = session.store.latest()
+                sample = [tuple(rng.sample(verts, 2)) for _ in range(32)]
+                matches = sum(
+                    delta_reader.distance(s, t)[0]
+                    == final.distance(s, t).value
+                    for s, t in sample
+                )
+                transfer = delta_reader.transfer_stats()
+                rows.append({
+                    "dataset": dataset, "mode": "summary",
+                    "epoch": epochs,
+                    "delta_fetches": transfer["delta_fetches"],
+                    "full_fetches": transfer["full_fetches"],
+                    "bytes_ratio": round(
+                        transfer["bytes_received"]
+                        / transfer["bytes_full"], 3),
+                    "parity": f"{matches}/{len(sample)}",
+                })
+            finally:
+                delta_reader.close()
+                full_reader.close()
+        finally:
+            session.close()
+
+    # -- eviction fallback: the base digest ages out of the history ------
+    sg = SGraph(graph=load_dataset("uniform-er"), config=SGraphConfig(
+        num_hubs=8, hub_strategy="degree", queries=("distance",),
+    ))
+    g = sg.graph
+    rng = random.Random(43)
+    session = sg.serve(workers=1, transport="tcp", delta=True,
+                       cache_planes=1)
+    try:
+        reader = NetReader(session.transport.address, delta=True)
+        try:
+            reader.refresh()
+            edges = sorted(g.edges())
+            for _ in range(3):
+                for u, v, _w in rng.sample(edges, 10):
+                    sg.add_edge(u, v, rng.uniform(0.5, 3.0))
+                session.publish()  # evicts the reader's base...
+                for u, v, _w in rng.sample(edges, 10):
+                    sg.add_edge(u, v, rng.uniform(0.5, 3.0))
+                session.publish()  # ...twice over
+                reader.refresh()
+            transfer = reader.transfer_stats()
+            rows.append({
+                "dataset": "uniform-er", "mode": "evict-fallback",
+                "epoch": 6,
+                "delta_fetches": transfer["delta_fetches"],
+                "full_fetches": transfer["full_fetches"],
+                "bytes_ratio": round(transfer["bytes_received"]
+                                     / transfer["bytes_full"], 3),
+            })
+        finally:
+            reader.close()
+    finally:
+        session.close()
+    return rows
+
+
+# ---------------------------------------------------------------------------
 
 ALL_EXPERIMENTS: Dict[str, Callable[[], List[Row]]] = {
     "E1 datasets": run_e1_datasets,
@@ -1247,6 +1438,7 @@ ALL_EXPERIMENTS: Dict[str, Callable[[], List[Row]]] = {
     "E20 many backend": run_e20_many_backend,
     "E21 shm serving": run_e21_shm_serving,
     "E22 net serving": run_e22_net_serving,
+    "E23 delta sync": run_e23_delta_sync,
 }
 
 

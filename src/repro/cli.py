@@ -22,6 +22,7 @@ from typing import List, Optional
 from repro.bench.experiments import ALL_EXPERIMENTS
 from repro.bench.report import format_table
 from repro.core.config import SGraphConfig
+from repro.errors import ConfigError, QueryError
 from repro.core.hub_selection import STRATEGIES
 from repro.graph.datasets import dataset_names, load_dataset
 from repro.graph.stats import profile_graph
@@ -182,14 +183,18 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         config=SGraphConfig(num_hubs=args.hubs, hub_strategy=args.strategy,
                             queries=("distance",)),
     )
+    if args.delta and args.transport != "tcp":
+        print("--delta requires --transport tcp", file=sys.stderr)
+        return 2
     pairs = list(query_stream(graph, args.queries, seed=7))
     verts = sorted(graph.vertices())
     rng = random.Random(11)
     options = {}
     if args.transport == "tcp":
-        options = {"host": args.host, "port": args.port}
+        options = {"host": args.host, "port": args.port,
+                   "cache_planes": args.cache_planes}
     with sg.serve(workers=args.workers, transport=args.transport,
-                  chunk=args.chunk, **options) as session:
+                  chunk=args.chunk, delta=args.delta, **options) as session:
         prefix = session.prefix
         print(f"serving {args.dataset} with {args.workers} worker "
               f"process(es) over {session.transport.describe()}")
@@ -211,6 +216,14 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             view = session.publish()
             print(f"  ingested {args.updates} updates, "
                   f"published epoch {view.epoch}")
+        if args.transport == "tcp":
+            row = session.stats_row()
+            sent, full = row["bytes_sent"], row["bytes_full"]
+            saved = f", {100.0 * (1 - sent / full):.1f}% saved" if full else ""
+            print(f"  transfer: {row['delta_fetches']} delta / "
+                  f"{row['full_fetches']} full fetches, "
+                  f"{sent} of {full} bytes{saved} "
+                  f"(cache {row.get('cached', 0)}/{row.get('cache_planes', 0)})")
     leaked = leaked_segments(prefix)
     print(f"closed: {len(leaked)} leaked shm segment(s)")
     return 1 if leaked else 0
@@ -222,29 +235,41 @@ def _cmd_attach(args: argparse.Namespace) -> int:
 
     from repro.serving.net import NetReader
 
-    with NetReader(args.address, cache_planes=args.cache_planes) as reader:
-        epoch = reader.refresh()
-        if epoch is None:
-            print(f"attached to {args.address}: nothing published yet",
-                  file=sys.stderr)
-            return 1
-        print(f"attached to {args.address} as reader "
-              f"{reader.client.reader_id}, serving epoch {epoch}")
-        verts = reader.vertices()
-        rng = random.Random(13)
-        for round_no in range(args.rounds):
-            start = time.perf_counter()
-            hits = 0
-            for _ in range(args.queries):
-                s, t = rng.choice(verts), rng.choice(verts)
-                _value, stats, epoch = reader.distance(s, t)
-                hits += stats.answered_by_index
-            elapsed = time.perf_counter() - start
-            print(f"  round {round_no}: {args.queries} queries in "
-                  f"{1e3 * elapsed:.1f} ms "
-                  f"({args.queries / elapsed:.0f} q/s) @ epoch {epoch}, "
-                  f"{hits} from index")
-            time.sleep(args.pause)
+    try:
+        with NetReader(args.address, cache_planes=args.cache_planes,
+                       delta=args.delta) as reader:
+            epoch = reader.refresh()
+            if epoch is None:
+                print(f"attached to {args.address}: nothing published yet",
+                      file=sys.stderr)
+                return 1
+            print(f"attached to {args.address} as reader "
+                  f"{reader.client.reader_id}, serving epoch {epoch}")
+            verts = reader.vertices()
+            rng = random.Random(13)
+            for round_no in range(args.rounds):
+                start = time.perf_counter()
+                hits = 0
+                for _ in range(args.queries):
+                    s, t = rng.choice(verts), rng.choice(verts)
+                    _value, stats, epoch = reader.distance(s, t)
+                    hits += stats.answered_by_index
+                elapsed = time.perf_counter() - start
+                print(f"  round {round_no}: {args.queries} queries in "
+                      f"{1e3 * elapsed:.1f} ms "
+                      f"({args.queries / elapsed:.0f} q/s) @ epoch {epoch}, "
+                      f"{hits} from index")
+                time.sleep(args.pause)
+            if args.delta:
+                transfer = reader.transfer_stats()
+                print(f"  transfer: {transfer['delta_fetches']} delta / "
+                      f"{transfer['full_fetches']} full fetches, "
+                      f"{transfer['bytes_received']} of "
+                      f"{transfer['bytes_full']} bytes")
+    except (ConfigError, QueryError) as exc:
+        print(f"attach {args.address}: server went away ({exc})",
+              file=sys.stderr)
+        return 1
     return 0
 
 
@@ -363,6 +388,12 @@ def build_parser() -> argparse.ArgumentParser:
                        help="queries bundled per pool message")
     serve.add_argument("--host", default="127.0.0.1",
                        help="bind address for --transport tcp")
+    serve.add_argument("--cache-planes", type=int, default=4,
+                       help="tcp only: published planes the server keeps "
+                            "as delta bases (and readers keep cached)")
+    serve.add_argument("--delta", action="store_true",
+                       help="tcp only: ship chunk-addressed deltas to "
+                            "readers that hold a cached base plane")
     serve.add_argument("--port", type=int, default=0,
                        help="bind port for --transport tcp (0 = ephemeral)")
     serve.set_defaults(fn=_cmd_serve)
@@ -379,13 +410,16 @@ def build_parser() -> argparse.ArgumentParser:
                         help="query rounds to run before detaching")
     attach.add_argument("--pause", type=float, default=0.0,
                         help="seconds to sleep between rounds")
+    attach.add_argument("--delta", action="store_true",
+                        help="fetch chunk-addressed deltas against the "
+                             "cached base plane instead of full payloads")
     attach.add_argument("--cache-planes", type=int, default=4,
                         help="decoded planes kept in the local LRU cache")
     attach.set_defaults(fn=_cmd_attach)
 
     experiment = sub.add_parser("experiment",
                                 help="regenerate an experiment table")
-    experiment.add_argument("id", help="e1..e22, or 'all'")
+    experiment.add_argument("id", help="e1..e23, or 'all'")
     experiment.add_argument("--backend", default="auto",
                             choices=["auto", "dense", "dict"],
                             help="serving plane for backend-aware experiments")

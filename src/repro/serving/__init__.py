@@ -32,9 +32,13 @@ and the ``repro serve`` / ``repro attach`` CLI subcommands.
 """
 
 from repro.serving.codec import (
+    CHUNK_BYTES,
     PlaneGraph,
+    apply_plane_delta,
     decode_plane,
+    diff_manifests,
     encode_plane,
+    encode_plane_delta,
     materialize_plane,
     plane_digest,
 )
@@ -53,6 +57,7 @@ from repro.serving.transport import (
 )
 
 __all__ = [
+    "CHUNK_BYTES",
     "EpochBoard",
     "EpochRegistry",
     "LocalRegistry",
@@ -62,8 +67,11 @@ __all__ = [
     "ShmPlane",
     "ShmTransport",
     "WorkerPool",
+    "apply_plane_delta",
     "decode_plane",
+    "diff_manifests",
     "encode_plane",
+    "encode_plane_delta",
     "leaked_segments",
     "make_transport",
     "materialize_plane",

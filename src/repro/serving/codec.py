@@ -9,40 +9,82 @@ byte blob laid out as::
     [data_start:...) the buffers themselves, each at a 64-byte-aligned
                      offset *relative to data_start*
 
-The manifest records ``{name: {dtype, shape, offset}}`` for every buffer —
-CSR ``indptr/indices/weights`` (plus the ``rev_*`` triple when directed),
-the dense→caller id map, and the stacked hub cost matrices ``F`` (and ``B``
-when directed and distinct) — so decoding needs nothing but the bytes:
-parse the manifest, wrap each buffer in a zero-copy numpy view.
+The manifest records ``{name: {dtype, shape, offset, chunks}}`` for every
+buffer — CSR ``indptr/indices/weights`` (plus the ``rev_*`` triple when
+directed), the dense→caller id map, and the stacked hub cost matrices
+``F`` (and ``B`` when directed and distinct) — so decoding needs nothing
+but the bytes: parse the manifest, wrap each buffer in a zero-copy numpy
+view.
 
-Both transports speak this format.  The shm transport encodes straight
-into a ``shared_memory`` segment's buffer (readers map the same bytes);
-the TCP transport encodes into a ``bytearray`` once per publish, ships it
-over the socket, and remote readers decode their private copy.  Either
-way :func:`materialize_plane` rebuilds a fully functional ``DensePlane``
-over the decoded views in O(#buffers); the O(V+E) work (list caches,
-residual rows) is deferred to first use exactly as on the in-process
-plane.
+**Chunk addressing.**  Every buffer is additionally divided into fixed
+:data:`CHUNK_BYTES` chunks and the manifest records a short content
+digest per chunk.  Two manifests therefore describe not just *what* their
+planes contain but *which bytes differ*: :func:`diff_manifests` yields
+per-buffer dirty byte ranges, :func:`encode_plane_delta` packs exactly
+those ranges (plus the new manifest) into a delta frame, and
+:func:`apply_plane_delta` composes a delta onto the base payload to
+reproduce the target payload **bit-identically** — same bytes, same
+:func:`plane_digest` — verified on every apply.  A buffer whose shape or
+dtype changed (CSR growth, a dtype migration) falls back to a
+full-buffer patch inside the same frame; a delta between planes with
+identical buffers reduces to a header-only frame carrying just the new
+manifest.  This is what makes remote epoch visibility O(Δ): a reader
+holding the previous payload fetches only the churned chunks.
+
+Both transports speak the full format.  The shm transport encodes
+straight into a ``shared_memory`` segment's buffer (readers map the same
+bytes); the TCP transport encodes into a ``bytearray`` once per publish,
+ships it (or a delta against the reader's cached base) over the socket,
+and remote readers decode their private copy.  Either way
+:func:`materialize_plane` rebuilds a fully functional ``DensePlane`` over
+the decoded views in O(#buffers); the O(V+E) work (list caches, residual
+rows) is deferred to first use exactly as on the in-process plane.
 """
 
 from __future__ import annotations
 
 import hashlib
 import json
-from typing import Dict, Iterator, List, Tuple
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from repro.errors import ConfigError
 
 ALIGN = 64
-FORMAT_VERSION = 1
+FORMAT_VERSION = 2
 _HEADER_BYTES = 16
+
+#: fixed chunk size for the per-buffer dirty-range tables.  Small enough
+#: that a handful of churned vertices dirty a handful of chunks, large
+#: enough that the digest table stays ~2% of the payload.
+CHUNK_BYTES = 1024
+
+#: hex digits of the per-chunk blake2b digest kept in the manifest
+_CHUNK_DIGEST_BYTES = 8
 
 
 def aligned(offset: int) -> int:
     """Round ``offset`` up to the next :data:`ALIGN`-byte boundary."""
     return (offset + ALIGN - 1) // ALIGN * ALIGN
+
+
+def chunk_digests(data, chunk_bytes: int = CHUNK_BYTES) -> List[str]:
+    """Per-chunk content digests of one buffer's bytes.
+
+    The last chunk may be short; an empty buffer has no chunks.  blake2b
+    (8-byte digests) is collision-safe for what the table is used for —
+    deciding whether a specific chunk changed between two *known* adjacent
+    versions — and hashes the whole plane in single-digit milliseconds.
+    """
+    mv = memoryview(data)
+    if mv.ndim != 1 or mv.format != "B":
+        mv = mv.cast("B")
+    return [
+        hashlib.blake2b(mv[i:i + chunk_bytes],
+                        digest_size=_CHUNK_DIGEST_BYTES).hexdigest()
+        for i in range(0, len(mv), chunk_bytes)
+    ]
 
 
 def plane_buffers(plane) -> List[Tuple[str, np.ndarray]]:
@@ -72,38 +114,50 @@ def plane_buffers(plane) -> List[Tuple[str, np.ndarray]]:
     return buffers
 
 
-def plane_manifest(plane, epoch=None,
-                   buffers=None) -> Tuple[Dict, bytes, int]:
+def buffers_manifest(buffers: Sequence[Tuple[str, np.ndarray]],
+                     meta: Optional[Dict] = None) -> Tuple[Dict, bytes, int]:
     """Manifest dict, its JSON encoding, and the total encoded size.
 
-    The size covers header + manifest + aligned buffers — callers presize
-    their sink (a shm segment, a bytearray) with it before encoding.
+    The generalized core of :func:`plane_manifest`: lays out any named
+    buffer sequence (offset table + per-chunk digest table) under
+    arbitrary ``meta`` keys.  The size covers header + manifest + aligned
+    buffers — callers presize their sink (a shm segment, a bytearray)
+    with it before encoding.
     """
-    if buffers is None:
-        buffers = plane_buffers(plane)
-    csr = plane.csr
     table: Dict[str, Dict] = {}
     offset = 0
     for buf_name, arr in buffers:
+        arr = np.ascontiguousarray(arr)
         offset = aligned(offset)
         table[buf_name] = {
             "dtype": str(arr.dtype),
             "shape": list(arr.shape),
             "offset": offset,
+            "chunks": chunk_digests(arr),
         }
         offset += arr.nbytes
-    manifest = {
-        "version": FORMAT_VERSION,
-        "epoch": int(csr.epoch if epoch is None else epoch),
-        "directed": bool(csr.directed),
-        "n": csr.num_vertices,
-        "hubs": [int(h) for h in plane.tables.hubs],
-        "buffers": table,
-    }
+    manifest = {"version": FORMAT_VERSION}
+    manifest.update(meta or {})
+    manifest["chunk_bytes"] = CHUNK_BYTES
+    manifest["buffers"] = table
     mbytes = json.dumps(manifest, separators=(",", ":")).encode("ascii")
     data_start = aligned(_HEADER_BYTES + len(mbytes))
     total = max(data_start + offset, 1)
     return manifest, mbytes, total
+
+
+def plane_manifest(plane, epoch=None,
+                   buffers=None) -> Tuple[Dict, bytes, int]:
+    """Manifest dict, its JSON encoding, and the total encoded size."""
+    if buffers is None:
+        buffers = plane_buffers(plane)
+    csr = plane.csr
+    return buffers_manifest(buffers, meta={
+        "epoch": int(csr.epoch if epoch is None else epoch),
+        "directed": bool(csr.directed),
+        "n": csr.num_vertices,
+        "hubs": [int(h) for h in plane.tables.hubs],
+    })
 
 
 def encoded_size(plane, epoch=None) -> int:
@@ -111,19 +165,12 @@ def encoded_size(plane, epoch=None) -> int:
     return plane_manifest(plane, epoch)[2]
 
 
-def encode_plane_into(plane, sink,
-                      epoch=None) -> Tuple[Dict, Dict[str, np.ndarray]]:
-    """Serialize ``plane`` into a writable buffer (shm segment, bytearray).
-
-    ``sink`` must support the buffer protocol and be at least
-    :func:`encoded_size` bytes long.  Returns the manifest plus the
-    writer-side views over the sink's buffers (the shm exporter hands
-    these out so tests can mutate shared bytes in place); every buffer
-    offset is 64-byte aligned so the views keep the alignment the
-    vectorized kernels expect.
-    """
-    buffers = plane_buffers(plane)
-    manifest, mbytes, total = plane_manifest(plane, epoch, buffers=buffers)
+def encode_buffers_into(buffers: Sequence[Tuple[str, np.ndarray]], sink,
+                        meta: Optional[Dict] = None,
+                        ) -> Tuple[Dict, Dict[str, np.ndarray]]:
+    """Serialize named buffers into a writable sink (see
+    :func:`encode_plane_into`)."""
+    manifest, mbytes, total = buffers_manifest(buffers, meta=meta)
     buf = memoryview(sink)
     if len(buf) < total:
         raise ConfigError(
@@ -145,11 +192,48 @@ def encode_plane_into(plane, sink,
     return manifest, arrays
 
 
+def encode_plane_into(plane, sink,
+                      epoch=None) -> Tuple[Dict, Dict[str, np.ndarray]]:
+    """Serialize ``plane`` into a writable buffer (shm segment, bytearray).
+
+    ``sink`` must support the buffer protocol and be at least
+    :func:`encoded_size` bytes long.  Returns the manifest plus the
+    writer-side views over the sink's buffers (the shm exporter hands
+    these out so tests can mutate shared bytes in place); every buffer
+    offset is 64-byte aligned so the views keep the alignment the
+    vectorized kernels expect.
+    """
+    csr = plane.csr
+    return encode_buffers_into(plane_buffers(plane), sink, meta={
+        "epoch": int(csr.epoch if epoch is None else epoch),
+        "directed": bool(csr.directed),
+        "n": csr.num_vertices,
+        "hubs": [int(h) for h in plane.tables.hubs],
+    })
+
+
+def encode_buffers(buffers: Sequence[Tuple[str, np.ndarray]],
+                   meta: Optional[Dict] = None) -> bytes:
+    """Serialize named buffers into a fresh bytes object."""
+    sink = bytearray(buffers_manifest(buffers, meta=meta)[2])
+    encode_buffers_into(buffers, sink, meta=meta)
+    return bytes(sink)
+
+
 def encode_plane(plane, epoch=None) -> bytes:
     """Serialize ``plane`` into a fresh bytes object (the TCP payload)."""
     sink = bytearray(encoded_size(plane, epoch))
     encode_plane_into(plane, sink, epoch=epoch)
     return bytes(sink)
+
+
+def payload_manifest(payload) -> Dict:
+    """Parse just the manifest out of an encoded plane payload."""
+    buf = memoryview(payload)
+    mlen = int(np.frombuffer(buf, dtype=np.uint64, count=1)[0])
+    return json.loads(
+        bytes(buf[_HEADER_BYTES:_HEADER_BYTES + mlen]).decode("ascii")
+    )
 
 
 def decode_plane(source,
@@ -220,6 +304,215 @@ def materialize_plane(manifest: Dict, arrays: Dict[str, np.ndarray]):
 def plane_digest(payload) -> str:
     """Content digest of an encoded plane (what readers verify on fetch)."""
     return hashlib.sha256(memoryview(payload)).hexdigest()
+
+
+# ---------------------------------------------------------------------------
+# Delta frames: chunk-addressed diffs between two encoded planes
+# ---------------------------------------------------------------------------
+
+
+def _buffer_nbytes(spec: Dict) -> int:
+    count = 1
+    for dim in spec["shape"]:
+        count *= dim
+    return count * np.dtype(spec["dtype"]).itemsize
+
+
+def diff_manifests(base: Dict, target: Dict) -> Dict[str, Optional[
+        List[Tuple[int, int]]]]:
+    """Per-buffer dirty byte ranges between two chunk-addressed manifests.
+
+    For every buffer in ``target``: ``None`` means the whole buffer must
+    be resent (new buffer, or shape/dtype changed so chunk positions are
+    incomparable); otherwise a list of coalesced ``(start, end)`` byte
+    ranges — relative to the buffer — covering exactly the chunks whose
+    digests differ (empty when the buffer is bit-identical).  Buffers
+    present only in ``base`` simply vanish: the target manifest does not
+    mention them.
+    """
+    out: Dict[str, Optional[List[Tuple[int, int]]]] = {}
+    base_table = base.get("buffers", {})
+    comparable = base.get("chunk_bytes") == target.get("chunk_bytes")
+    for name, spec in target["buffers"].items():
+        old = base_table.get(name)
+        if (not comparable or old is None
+                or old["dtype"] != spec["dtype"]
+                or old["shape"] != spec["shape"]):
+            out[name] = None
+            continue
+        nbytes = _buffer_nbytes(spec)
+        chunk = target["chunk_bytes"]
+        ranges: List[Tuple[int, int]] = []
+        for i, (was, now) in enumerate(zip(old["chunks"], spec["chunks"])):
+            if was == now:
+                continue
+            start = i * chunk
+            end = min(start + chunk, nbytes)
+            if ranges and ranges[-1][1] == start:
+                ranges[-1] = (ranges[-1][0], end)
+            else:
+                ranges.append((start, end))
+        out[name] = ranges
+    return out
+
+
+def encode_plane_delta(base_payload, target_payload,
+                       base_digest: Optional[str] = None,
+                       target_digest: Optional[str] = None) -> bytes:
+    """A delta frame turning ``base_payload`` into ``target_payload``.
+
+    Frame layout::
+
+        [0:8)      uint64  header JSON length H
+        [8:8+H)            header JSON: kind, base/target digests, total
+                           target size, manifest_len, data_start, and the
+                           patch table [[buffer, start, end], ...]
+        [8+H:...)          the target manifest JSON bytes, verbatim
+        [...:end)          the patched byte ranges, concatenated in patch
+                           table order
+
+    Patches address bytes *relative to each buffer*; a ``(0, nbytes)``
+    patch is the full-buffer fallback (new buffer, shape/dtype change).
+    Composing the frame onto the base payload with
+    :func:`apply_plane_delta` reproduces the target payload bit-identically.
+    """
+    base_mv = memoryview(base_payload)
+    target_mv = memoryview(target_payload)
+    base_manifest = payload_manifest(base_mv)
+    header = np.frombuffer(target_mv, dtype=np.uint64, count=2)
+    manifest_len, data_start = int(header[0]), int(header[1])
+    manifest_bytes = bytes(
+        target_mv[_HEADER_BYTES:_HEADER_BYTES + manifest_len]
+    )
+    target_manifest = json.loads(manifest_bytes.decode("ascii"))
+    dirty = diff_manifests(base_manifest, target_manifest)
+    patches: List[List] = []
+    pieces: List[bytes] = []
+    for name, spec in target_manifest["buffers"].items():
+        ranges = dirty[name]
+        if ranges is None:
+            ranges = [(0, _buffer_nbytes(spec))]
+        for start, end in ranges:
+            if end <= start:
+                continue
+            patches.append([name, int(start), int(end)])
+            lo = data_start + spec["offset"] + start
+            pieces.append(bytes(target_mv[lo:lo + (end - start)]))
+    head = {
+        "version": FORMAT_VERSION,
+        "kind": "plane-delta",
+        "base": base_digest or plane_digest(base_mv),
+        "target": target_digest or plane_digest(target_mv),
+        "total": len(target_mv),
+        "manifest_len": manifest_len,
+        "data_start": data_start,
+        "patches": patches,
+    }
+    hbytes = json.dumps(head, separators=(",", ":")).encode("ascii")
+    out = bytearray()
+    out += len(hbytes).to_bytes(8, "big")
+    out += hbytes
+    out += manifest_bytes
+    for piece in pieces:
+        out += piece
+    return bytes(out)
+
+
+def delta_header(delta) -> Dict:
+    """Parse a delta frame's header (base/target digests, patch table)."""
+    mv = memoryview(delta)
+    hlen = int.from_bytes(bytes(mv[:8]), "big")
+    head = json.loads(bytes(mv[8:8 + hlen]).decode("ascii"))
+    if head.get("kind") != "plane-delta":
+        raise ConfigError("frame is not a plane delta")
+    if head.get("version") != FORMAT_VERSION:
+        raise ConfigError(
+            f"plane delta has format version {head.get('version')!r}, "
+            f"expected {FORMAT_VERSION}"
+        )
+    return head
+
+
+def delta_patch_bytes(delta) -> int:
+    """Buffer bytes a delta frame actually carries (excluding headers)."""
+    head = delta_header(delta)
+    return sum(end - start for _name, start, end in head["patches"])
+
+
+def apply_plane_delta(base_payload, delta,
+                      base_digest: Optional[str] = None) -> bytes:
+    """Compose a delta frame onto its base payload.
+
+    Returns the target payload, byte-for-byte identical to the full
+    encoding the delta was derived from: the frame's manifest bytes are
+    written verbatim, clean buffers are copied from the base at their
+    (possibly shifted) target offsets, patched ranges come from the
+    frame, and inter-buffer alignment gaps are zero on both sides by
+    construction.  The composed payload's :func:`plane_digest` is
+    verified against the frame's ``target`` digest — a mismatch (wrong
+    base, corrupt frame) raises :class:`ConfigError` rather than ever
+    yielding a plausible-but-wrong plane.
+    """
+    base_mv = memoryview(base_payload)
+    head = delta_header(delta)
+    if base_digest is None:
+        base_digest = plane_digest(base_mv)
+    if base_digest != head["base"]:
+        raise ConfigError(
+            f"delta base mismatch: frame expects {head['base'][:12]}…, "
+            f"composing onto {base_digest[:12]}…"
+        )
+    mv = memoryview(delta)
+    hlen = int.from_bytes(bytes(mv[:8]), "big")
+    manifest_len = head["manifest_len"]
+    manifest_bytes = bytes(mv[8 + hlen:8 + hlen + manifest_len])
+    target_manifest = json.loads(manifest_bytes.decode("ascii"))
+    base_manifest = payload_manifest(base_mv)
+    base_start = int(np.frombuffer(base_mv, dtype=np.uint64, count=2)[1])
+    data_start = head["data_start"]
+
+    out = bytearray(head["total"])
+    np.frombuffer(out, dtype=np.uint64, count=2)[:] = (
+        manifest_len, data_start,
+    )
+    out[_HEADER_BYTES:_HEADER_BYTES + manifest_len] = manifest_bytes
+
+    fully_patched = {
+        name for name, start, end in head["patches"]
+        if start == 0 and end >= _buffer_nbytes(
+            target_manifest["buffers"][name])
+    }
+    base_table = base_manifest.get("buffers", {})
+    for name, spec in target_manifest["buffers"].items():
+        if name in fully_patched:
+            continue
+        old = base_table.get(name)
+        if (old is None or old["dtype"] != spec["dtype"]
+                or old["shape"] != spec["shape"]):
+            raise ConfigError(
+                f"delta frame leaves buffer {name!r} unpatched but the "
+                "base has no matching buffer to copy it from"
+            )
+        nbytes = _buffer_nbytes(spec)
+        src = base_start + old["offset"]
+        dst = data_start + spec["offset"]
+        out[dst:dst + nbytes] = base_mv[src:src + nbytes]
+
+    cursor = 8 + hlen + manifest_len
+    for name, start, end in head["patches"]:
+        spec = target_manifest["buffers"][name]
+        size = end - start
+        dst = data_start + spec["offset"] + start
+        out[dst:dst + size] = mv[cursor:cursor + size]
+        cursor += size
+
+    composed = bytes(out)
+    if plane_digest(composed) != head["target"]:
+        raise ConfigError(
+            "delta composition digest mismatch: the composed plane is not "
+            "bit-identical to the full encoding"
+        )
+    return composed
 
 
 class PlaneGraph:

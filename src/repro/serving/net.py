@@ -15,6 +15,15 @@ reader fleets anywhere can serve published epochs:
   the payload **once**, verify the digest, and decode it into a private
   :class:`~repro.core.hub_index.DensePlane` (fetch-on-publish: the bytes
   cross the socket once per reader per epoch, never per query);
+* a **delta-enabled** reader instead sends ``fetch_delta`` naming the
+  digest of the newest payload it already holds; the server diffs the two
+  planes' chunk tables (:func:`~repro.serving.codec.encode_plane_delta`
+  over its last ``cache_planes`` published payloads) and ships only the
+  churned chunks — O(Δ) bytes per epoch instead of O(|plane|).  The
+  reader composes the delta onto a *copy* of its cached payload and the
+  composed plane's digest is verified before swap-in; when the base was
+  evicted (or composition fails) the server/reader fall back to a full
+  frame, so delta mode is never less correct than full mode;
 * queries then run entirely locally on the cached plane — the same
   ``_search_dense`` hot path, bit-identical to shm workers — and the
   refcount protocol retires old epochs exactly as on the board.  A reader
@@ -22,9 +31,10 @@ reader fleets anywhere can serve published epochs:
   thread, returning its refcount.
 
 Wire format: every message is an 8-byte big-endian length followed by a
-JSON body; a ``fetch`` response is followed by one raw frame carrying the
-encoded plane.  Ops: ``hello``, ``poll``, ``acquire``, ``release``,
-``fetch``, ``stats``.
+JSON body; a ``fetch`` (or ``fetch_delta``) response is followed by one
+raw frame carrying the encoded plane (or delta frame).  Ops: ``hello``,
+``poll``, ``acquire``, ``release``, ``fetch``, ``fetch_delta``,
+``stats``.
 """
 
 from __future__ import annotations
@@ -39,8 +49,11 @@ from typing import Dict, List, Optional, Tuple
 from repro.errors import ConfigError, QueryError
 from repro.serving.codec import (
     PlaneGraph,
+    apply_plane_delta,
     decode_plane,
+    delta_header,
     encode_plane,
+    encode_plane_delta,
     materialize_plane,
     plane_digest,
 )
@@ -127,12 +140,29 @@ class PlaneServer:
     """
 
     def __init__(self, host: str = "127.0.0.1", port: int = 0,
-                 num_slots: int = DEFAULT_SLOTS) -> None:
+                 num_slots: int = DEFAULT_SLOTS,
+                 cache_planes: int = DEFAULT_CACHE_PLANES) -> None:
+        if cache_planes < 1:
+            raise ConfigError("cache_planes must be >= 1")
         self._registry = LocalRegistry(
             num_slots=num_slots, on_evict=self._on_evict
         )
         # slot -> (payload, digest, epoch); pinned while the slot is live
         self._payloads: Dict[int, Tuple[bytes, str, int]] = {}
+        # digest -> payload for the last cache_planes published planes —
+        # the delta-base history.  Independent of slot eviction: a retired
+        # plane no reader pins any more is still a valid diff base for a
+        # reader that cached it, as long as it stays in this window.
+        self._cache_planes = cache_planes
+        self._history: "OrderedDict[str, bytes]" = OrderedDict()
+        # (base digest, target digest) -> delta frame, shared by every
+        # reader diffing the same pair; pruned with the history.
+        self._deltas: Dict[Tuple[str, str], bytes] = {}
+        # delta/full fetch counters and actual-vs-hypothetical byte totals
+        self._transfer: Dict[str, int] = {
+            "delta_fetches": 0, "full_fetches": 0,
+            "bytes_sent": 0, "bytes_full": 0,
+        }
         # reader -> digest -> fetch count (the fetched-exactly-once audit)
         self._fetches: Dict[str, Dict[str, int]] = {}
         self._conns: List[socket.socket] = []
@@ -164,12 +194,33 @@ class PlaneServer:
         with self._registry.lock:
             slot = self._registry.register(digest, epoch)
             self._payloads[slot] = (payload, digest, epoch)
+            self._history[digest] = payload
+            self._history.move_to_end(digest)
+            while len(self._history) > self._cache_planes:
+                evicted, _ = self._history.popitem(last=False)
+                self._deltas = {
+                    key: frame for key, frame in self._deltas.items()
+                    if evicted not in key
+                }
         return digest
 
     def fetch_counts(self) -> Dict[str, Dict[str, int]]:
         """Per-reader, per-digest fetch counts (each should be exactly 1)."""
         with self._registry.lock:
             return {r: dict(d) for r, d in self._fetches.items()}
+
+    def transfer_stats(self) -> Dict[str, int]:
+        """Delta/full fetch counters and actual-vs-full byte totals."""
+        with self._registry.lock:
+            return dict(self._transfer)
+
+    def cache_info(self) -> Dict[str, int]:
+        """Delta-base history depth and current occupancy."""
+        with self._registry.lock:
+            return {
+                "cache_planes": self._cache_planes,
+                "cached": len(self._history),
+            }
 
     def close(self) -> None:
         self._closed = True
@@ -187,8 +238,41 @@ class PlaneServer:
     # -- internals ----------------------------------------------------------
 
     def _on_evict(self, slot: int, _ref: str) -> None:
-        # Registry lock held: drop the payload the freed slot pinned.
+        # Registry lock held: drop the payload the freed slot pinned.  The
+        # delta-base history keeps its own (bounded) reference so a just-
+        # retired plane can still serve as a diff base.
         self._payloads.pop(slot, None)
+
+    def _record_fetch(self, reader, digest: str, sent: int, full: int,
+                      delta: bool) -> None:
+        # Registry lock held.  One audit entry per payload crossing —
+        # delta or full, a digest still reaches each reader exactly once —
+        # plus the actual-vs-hypothetical byte totals.
+        counts = self._fetches.setdefault(str(reader), {})
+        counts[digest] = counts.get(digest, 0) + 1
+        key = "delta_fetches" if delta else "full_fetches"
+        self._transfer[key] += 1
+        self._transfer["bytes_sent"] += sent
+        self._transfer["bytes_full"] += full
+
+    def _delta_or_full(self, base: Optional[str], payload: bytes,
+                       digest: str) -> Tuple[bytes, str]:
+        # Registry lock held.  Diff against the reader's base when it is
+        # still in the publish history; otherwise (base evicted, unknown,
+        # or the degenerate base == target) fall back to the full frame.
+        if not base or base == digest:
+            return payload, "full"
+        base_payload = self._history.get(base)
+        if base_payload is None:
+            return payload, "full"
+        frame = self._deltas.get((base, digest))
+        if frame is None:
+            frame = encode_plane_delta(
+                base_payload, payload,
+                base_digest=base, target_digest=digest,
+            )
+            self._deltas[(base, digest)] = frame
+        return frame, "delta"
 
     def _accept_loop(self) -> None:
         while not self._closed:
@@ -196,6 +280,12 @@ class PlaneServer:
                 conn, _addr = self._listener.accept()
             except OSError:
                 return
+            try:
+                # small response frames (delta fetches, control messages)
+                # must not sit out a Nagle/delayed-ACK round trip
+                conn.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+            except OSError:  # pragma: no cover
+                pass
             self._conns.append(conn)
             threading.Thread(
                 target=self._serve_conn, args=(conn,),
@@ -246,8 +336,9 @@ class PlaneServer:
                         entry = self._payloads.get(msg["slot"])
                         if entry is not None:
                             payload, digest, _epoch = entry
-                            counts = self._fetches.setdefault(str(reader), {})
-                            counts[digest] = counts.get(digest, 0) + 1
+                            self._record_fetch(reader, digest,
+                                               len(payload), len(payload),
+                                               delta=False)
                     if entry is None:
                         _send_msg(conn, {
                             "ok": False,
@@ -259,6 +350,30 @@ class PlaneServer:
                             "nbytes": len(payload),
                         })
                         _send_frame(conn, payload)
+                elif op == "fetch_delta":
+                    with self._registry.lock:
+                        entry = self._payloads.get(msg["slot"])
+                        frame, mode = None, "full"
+                        if entry is not None:
+                            payload, digest, _epoch = entry
+                            frame, mode = self._delta_or_full(
+                                msg.get("base"), payload, digest,
+                            )
+                            self._record_fetch(reader, digest,
+                                               len(frame), len(payload),
+                                               delta=(mode == "delta"))
+                    if entry is None:
+                        _send_msg(conn, {
+                            "ok": False,
+                            "error": f"slot {msg['slot']} holds no plane",
+                        })
+                    else:
+                        _send_msg(conn, {
+                            "ok": True, "mode": mode, "digest": digest,
+                            "nbytes": len(frame),
+                            "full_nbytes": len(payload),
+                        })
+                        _send_frame(conn, frame)
                 elif op == "stats":
                     with self._registry.lock:
                         _send_msg(conn, {
@@ -269,6 +384,11 @@ class PlaneServer:
                                 r: sum(d.values())
                                 for r, d in self._fetches.items()
                             },
+                            "cache": {
+                                "cache_planes": self._cache_planes,
+                                "cached": len(self._history),
+                            },
+                            "transfer": dict(self._transfer),
                         })
                 else:
                     _send_msg(conn, {"ok": False,
@@ -299,11 +419,14 @@ class NetTransport(PlaneTransport):
 
     def __init__(self, num_workers: int = 0, host: str = "127.0.0.1",
                  port: int = 0, cache_planes: int = DEFAULT_CACHE_PLANES,
-                 num_slots: int = DEFAULT_SLOTS) -> None:
+                 num_slots: int = DEFAULT_SLOTS,
+                 delta: bool = False) -> None:
         if cache_planes < 1:
             raise ConfigError("cache_planes must be >= 1")
-        self._server = PlaneServer(host=host, port=port, num_slots=num_slots)
+        self._server = PlaneServer(host=host, port=port, num_slots=num_slots,
+                                   cache_planes=cache_planes)
         self._cache_planes = cache_planes
+        self._delta = bool(delta)
         self._num_workers = num_workers
         self._published: set = set()
 
@@ -328,13 +451,26 @@ class NetTransport(PlaneTransport):
         self._published.add(epoch)
         return True
 
+    @property
+    def delta(self) -> bool:
+        """Whether readers spawned from this transport fetch deltas."""
+        return self._delta
+
     def reader_spec(self) -> "TcpReaderSpec":
         return TcpReaderSpec(
-            self._server.host, self._server.port, self._cache_planes
+            self._server.host, self._server.port, self._cache_planes,
+            delta=self._delta,
         )
 
+    def transfer_stats(self) -> Dict[str, int]:
+        """Server-side delta/full fetch counters (see ``stats_row``)."""
+        stats = self._server.transfer_stats()
+        stats.update(self._server.cache_info())
+        return stats
+
     def describe(self) -> str:
-        return f"tcp {self.address}"
+        mode = "delta" if self._delta else "full"
+        return f"tcp {self.address} ({mode} fetch)"
 
     def close(self) -> None:
         self._server.close()
@@ -344,30 +480,43 @@ class NetTransport(PlaneTransport):
 
 
 class TcpReaderSpec(ReaderSpec):
-    """Address + cache bound; trivially picklable across process starts."""
+    """Address + cache bound + delta flag; picklable across process starts."""
 
     def __init__(self, host: str, port: int,
-                 cache_planes: int = DEFAULT_CACHE_PLANES) -> None:
+                 cache_planes: int = DEFAULT_CACHE_PLANES,
+                 delta: bool = False) -> None:
         self.host = host
         self.port = port
         self.cache_planes = cache_planes
+        self.delta = delta
 
     def connect(self, reader_id) -> "NetClient":
         return NetClient(self.host, self.port, reader_id=reader_id,
-                         cache_planes=self.cache_planes)
+                         cache_planes=self.cache_planes, delta=self.delta)
 
 
 class NetClient(PlaneClient):
     """Reader endpoint over one persistent socket, with a plane cache.
 
     The cache is an LRU keyed by payload digest, bounded to
-    ``cache_planes`` decoded planes: re-acquiring a digest already cached
-    is one control round-trip (no payload), so each epoch's buffers cross
-    the socket exactly once however many queries it serves.
+    ``cache_planes`` decoded planes (each kept alongside its raw payload
+    bytes): re-acquiring a digest already cached is one control
+    round-trip (no payload), so each epoch's buffers cross the socket
+    exactly once however many queries it serves.
+
+    With ``delta=True`` a cache miss first tries ``fetch_delta`` against
+    the newest cached payload: the server ships only the churned chunks,
+    the client composes them onto a copy of its cached bytes, and the
+    composed payload's digest is verified before the plane is decoded and
+    swapped in.  Any delta failure (base evicted server-side, composition
+    mismatch) falls back to a verified full fetch.
     """
+
+    supports_delta = True
 
     def __init__(self, host: str, port: int, reader_id=None,
                  cache_planes: int = DEFAULT_CACHE_PLANES,
+                 delta: bool = False,
                  timeout: Optional[float] = 30.0) -> None:
         try:
             self._sock = socket.create_connection((host, port),
@@ -377,8 +526,15 @@ class NetClient(PlaneClient):
                 f"cannot reach plane server at {host}:{port}: {exc}"
             ) from None
         self._sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
-        self._cache: "OrderedDict[str, object]" = OrderedDict()
+        # digest -> (materialized plane, raw payload bytes)
+        self._cache: "OrderedDict[str, Tuple[object, bytes]]" = OrderedDict()
         self._cache_planes = cache_planes
+        self._delta = bool(delta)
+        #: client-side mirror of the server's transfer accounting
+        self.transfer: Dict[str, int] = {
+            "delta_fetches": 0, "full_fetches": 0,
+            "bytes_received": 0, "bytes_full": 0,
+        }
         hello = self._call({"op": "hello", "reader": reader_id})
         self.reader_id = hello["reader"]
 
@@ -404,23 +560,29 @@ class NetClient(PlaneClient):
         """Server-side slots + fetch counters (tests and dashboards)."""
         return self._call({"op": "stats"})
 
+    def cached_payload(self, digest: str) -> Optional[bytes]:
+        """Raw payload bytes cached under ``digest`` (tests, audits)."""
+        entry = self._cache.get(digest)
+        return None if entry is None else entry[1]
+
     def acquire(self) -> Optional[PlaneLease]:
         resp = self._call({"op": "acquire"})
         if resp.get("empty"):
             return None
         slot, digest = resp["slot"], resp["digest"]
-        plane = self._cache.get(digest)
-        if plane is not None:
+        entry = self._cache.get(digest)
+        if entry is not None:
             self._cache.move_to_end(digest)
         else:
             try:
-                plane = self._fetch(slot, digest)
+                entry = self._fetch(slot, digest)
             except Exception:
                 self._call({"op": "release", "slot": slot})
                 raise
-            self._cache[digest] = plane
+            self._cache[digest] = entry
             while len(self._cache) > self._cache_planes:
                 self._cache.popitem(last=False)
+        plane = entry[0]
 
         def release() -> None:
             self._call({"op": "release", "slot": slot})
@@ -428,20 +590,70 @@ class NetClient(PlaneClient):
         return PlaneLease(resp["generation"], slot, resp["epoch"], plane,
                           release)
 
-    def _fetch(self, slot: int, digest: str):
-        header = self._call({"op": "fetch", "slot": slot})
+    def _recv_payload_frame(self, nbytes: int) -> bytes:
         try:
-            payload = _recv_frame(self._sock)
+            frame = _recv_frame(self._sock)
         except OSError as exc:
             raise QueryError(f"plane fetch failed: {exc}") from None
-        if payload is None or len(payload) != header["nbytes"]:
+        if frame is None or len(frame) != nbytes:
             raise QueryError("plane fetch was truncated")
+        return frame
+
+    def _fetch(self, slot: int, digest: str) -> Tuple[object, bytes]:
+        """Materialize one payload: delta against the newest cached plane
+        when enabled, else (or on any delta failure) a full fetch."""
+        if self._delta and self._cache:
+            base = next(reversed(self._cache))
+            payload = self._fetch_delta(slot, digest, base)
+            if payload is not None:
+                manifest, arrays = decode_plane(payload)
+                return materialize_plane(manifest, arrays), payload
+        header = self._call({"op": "fetch", "slot": slot})
+        payload = self._recv_payload_frame(header["nbytes"])
         if plane_digest(payload) != digest:
             raise QueryError(
                 f"plane digest mismatch for slot {slot}: payload corrupt"
             )
+        self.transfer["full_fetches"] += 1
+        self.transfer["bytes_received"] += len(payload)
+        self.transfer["bytes_full"] += len(payload)
         manifest, arrays = decode_plane(payload)
-        return materialize_plane(manifest, arrays)
+        return materialize_plane(manifest, arrays), payload
+
+    def _fetch_delta(self, slot: int, digest: str,
+                     base: str) -> Optional[bytes]:
+        """One ``fetch_delta`` round-trip; None means "retry as full".
+
+        The server answers ``mode="full"`` itself when the base fell out
+        of its history; a delta whose composition does not reproduce the
+        expected digest is discarded the same way — the full path is the
+        always-correct fallback.
+        """
+        header = self._call({"op": "fetch_delta", "slot": slot,
+                             "base": base})
+        frame = self._recv_payload_frame(header["nbytes"])
+        full_nbytes = header.get("full_nbytes", len(frame))
+        if header.get("mode") != "delta":
+            if plane_digest(frame) != digest:
+                raise QueryError(
+                    f"plane digest mismatch for slot {slot}: payload corrupt"
+                )
+            self.transfer["full_fetches"] += 1
+            self.transfer["bytes_received"] += len(frame)
+            self.transfer["bytes_full"] += full_nbytes
+            return frame
+        base_payload = self._cache[base][1]
+        try:
+            if delta_header(frame)["target"] != digest:
+                raise ConfigError("delta frame targets a different plane")
+            payload = apply_plane_delta(base_payload, frame,
+                                        base_digest=base)
+        except ConfigError:
+            return None  # composed digest mismatch — refetch in full
+        self.transfer["delta_fetches"] += 1
+        self.transfer["bytes_received"] += len(frame)
+        self.transfer["bytes_full"] += full_nbytes
+        return payload
 
     def close(self) -> None:
         try:
@@ -462,16 +674,22 @@ class NetReader:
     """
 
     def __init__(self, address: str, policy: str = "upper+lower",
-                 cache_planes: int = DEFAULT_CACHE_PLANES) -> None:
+                 cache_planes: int = DEFAULT_CACHE_PLANES,
+                 delta: bool = False) -> None:
         host, _, port = address.rpartition(":")
         if not host or not port.isdigit():
             raise ConfigError(
                 f"attach address must be host:port, got {address!r}"
             )
-        self._client = NetClient(host, int(port), cache_planes=cache_planes)
+        self._client = NetClient(host, int(port), cache_planes=cache_planes,
+                                 delta=delta)
         self._policy = policy
         self._lease: Optional[PlaneLease] = None
         self._engine = None
+
+    def transfer_stats(self) -> Dict[str, int]:
+        """This reader's delta/full fetch counters and byte totals."""
+        return dict(self._client.transfer)
 
     @property
     def epoch(self) -> Optional[int]:

@@ -24,7 +24,10 @@ knows which.
 :class:`ServeSession` is the writer-side facade tying it together: it owns
 a :class:`~repro.streaming.versioning.VersionedStore`, publishes every new
 epoch through the transport, and exposes blocking query helpers over the
-pool.  ``SGraph.serve(workers=N, transport=...)`` constructs one.
+pool.  ``SGraph.serve(workers=N, transport=..., delta=...)`` constructs
+one; ``delta=True`` (TCP only) makes each reader fetch chunk-addressed
+O(Δ) deltas against its cached planes instead of full payloads, and
+``stats_row()`` reports the delta/full fetch counters and byte totals.
 """
 
 from __future__ import annotations
@@ -261,7 +264,7 @@ class ServeSession:
     def __init__(self, sgraph, workers: int = 2, store=None,
                  capacity: int = 4, name_prefix: Optional[str] = None,
                  transport: str = "shm", chunk: Optional[int] = None,
-                 **transport_options) -> None:
+                 delta: bool = False, **transport_options) -> None:
         from repro.streaming.versioning import VersionedStore
 
         config = sgraph.config
@@ -277,6 +280,15 @@ class ServeSession:
             chunk = DEFAULT_CHUNK
         if chunk < 1:
             raise ConfigError("chunk must be >= 1")
+        if delta:
+            if transport != "tcp":
+                raise ConfigError(
+                    "delta fetches need a byte-moving transport: "
+                    "serve(delta=True) requires transport='tcp' "
+                    "(shm readers already share the writer's bytes)"
+                )
+            transport_options["delta"] = True
+        self._delta = bool(delta)
         self._sgraph = sgraph
         self._store = store if store is not None else VersionedStore(
             sgraph, capacity=capacity
@@ -338,19 +350,33 @@ class ServeSession:
         """Queries bundled per pool message in batched verbs."""
         return self._chunk
 
+    @property
+    def delta(self) -> bool:
+        """Whether TCP readers fetch chunk-addressed deltas per epoch."""
+        return self._delta
+
     def stats_row(self) -> Dict[str, object]:
-        """One observability row: transport, fan-out, and registry state."""
+        """One observability row: transport, fan-out, registry state, and
+        payload movement (delta vs full fetches, actual vs all-full bytes
+        — the savings ratio is ``1 - bytes_sent / bytes_full``)."""
         registry = self._transport.registry
-        return {
+        row = {
             "transport": self._transport.kind,
             "endpoint": self._transport.describe(),
             "workers": self._pool.workers,
             "alive": len(self._pool.alive()),
             "chunk": self._chunk,
+            "delta": self._delta,
             "epoch": registry.current_epoch(),
             "generation": registry.generation(),
             "slots_held": len(registry.slots()),
+            "delta_fetches": 0,
+            "full_fetches": 0,
+            "bytes_sent": 0,
+            "bytes_full": 0,
         }
+        row.update(self._transport.transfer_stats())
+        return row
 
     def __enter__(self) -> "ServeSession":
         return self

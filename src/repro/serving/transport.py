@@ -61,7 +61,18 @@ class PlaneLease:
 
 
 class PlaneClient(ABC):
-    """Reader-side endpoint of one transport, bound to one reader id."""
+    """Reader-side endpoint of one transport, bound to one reader id.
+
+    A client whose transport can ship chunk-addressed deltas between
+    adjacent planes (see :func:`repro.serving.codec.encode_plane_delta`)
+    sets ``supports_delta`` and keeps the raw payload of cached planes so
+    a new epoch can be composed from its predecessor instead of fetched
+    in full; mapped transports (shm) have nothing to save — readers
+    already share the writer's bytes — and leave it False.
+    """
+
+    #: whether acquire() can fetch O(Δ) deltas against cached planes
+    supports_delta: bool = False
 
     @abstractmethod
     def generation(self) -> int:
@@ -119,6 +130,16 @@ class PlaneTransport(ABC):
     def release_reader(self, reader_id) -> None:
         """Reap a dead reader's refcount (idempotent)."""
         self.registry.release_reader(reader_id)
+
+    def transfer_stats(self) -> Dict[str, int]:
+        """Payload-movement counters for ``stats_row`` observability.
+
+        Byte-moving transports report ``delta_fetches`` / ``full_fetches``
+        / ``bytes_sent`` / ``bytes_full`` (actual vs all-full hypothetical
+        bytes) plus their delta-base cache occupancy; mapped transports
+        move no bytes per epoch and report nothing.
+        """
+        return {}
 
     @abstractmethod
     def close(self) -> None:

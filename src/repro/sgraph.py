@@ -729,7 +729,7 @@ class SGraph:
 
     def serve(self, workers: int = 2, store=None, capacity: int = 4,
               transport: str = "shm", chunk: Optional[int] = None,
-              **transport_options):
+              delta: bool = False, **transport_options):
         """Serve this facade from ``workers`` reader processes.
 
         Publishes each epoch's dense plane through the chosen transport and
@@ -743,9 +743,15 @@ class SGraph:
         copies.  ``transport="tcp"`` starts a loopback-or-LAN plane server
         instead: readers (the local pool, plus any remote ``repro attach``
         fleet) fetch each published plane over a socket exactly once into a
-        digest-verified local cache.  TCP options pass through keyword
-        arguments (``host=``, ``port=``, ``cache_planes=``).  ``chunk``
-        overrides how many queries batched verbs bundle per pool message.
+        digest-verified local cache.  ``delta=True`` (TCP only) switches
+        those fetches to chunk-addressed deltas: each reader ships only
+        the chunks that changed since the plane it already caches — O(Δ)
+        bytes per epoch, digest-verified to be bit-identical to a full
+        fetch, falling back to a full frame when the reader's base left
+        the server's ``cache_planes`` publish history.  TCP options pass
+        through keyword arguments (``host=``, ``port=``,
+        ``cache_planes=``).  ``chunk`` overrides how many queries batched
+        verbs bundle per pool message.
 
         Returns a :class:`repro.serving.ServeSession` (usable as a context
         manager); requires the distance family and a non-dict backend.
@@ -754,7 +760,7 @@ class SGraph:
 
         return ServeSession(self, workers=workers, store=store,
                             capacity=capacity, transport=transport,
-                            chunk=chunk, **transport_options)
+                            chunk=chunk, delta=delta, **transport_options)
 
     def _dense_engine(self, family: str) -> PairwiseEngine:
         """Per-epoch dense-served engine for one min-plus family (memoized).

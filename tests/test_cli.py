@@ -2,6 +2,9 @@
 
 from __future__ import annotations
 
+import threading
+import time
+
 import pytest
 
 from repro.cli import build_parser, main
@@ -15,6 +18,21 @@ class TestParser:
     def test_unknown_dataset_rejected(self):
         with pytest.raises(SystemExit):
             build_parser().parse_args(["profile", "nope"])
+
+    def test_serve_delta_flags(self):
+        args = build_parser().parse_args([
+            "serve", "uniform-er", "--transport", "tcp", "--delta",
+            "--cache-planes", "8",
+        ])
+        assert args.delta is True
+        assert args.cache_planes == 8
+        defaults = build_parser().parse_args(["serve", "uniform-er"])
+        assert defaults.delta is False
+        assert defaults.cache_planes == 4
+
+    def test_attach_delta_flag(self):
+        args = build_parser().parse_args(["attach", "h:1", "--delta"])
+        assert args.delta is True
 
 
 class TestCommands:
@@ -61,3 +79,46 @@ class TestCommands:
         out = capsys.readouterr().out
         assert "replayed 40 updates, 6 queries" in out
         assert "activations/query" in out
+
+    def test_serve_delta_requires_tcp(self, capsys):
+        assert main(["serve", "uniform-er", "--delta"]) == 2
+        assert "--delta requires --transport tcp" in capsys.readouterr().err
+
+
+class TestAttachRobustness:
+    @pytest.mark.net
+    def test_attach_exits_cleanly_when_server_dies(self, capsys):
+        """Killing the server under an attached reader must produce a
+        clear message and exit code 1, not a connection-reset traceback."""
+        from repro.serving.net import net_available
+
+        if not net_available():
+            pytest.skip("loopback TCP sockets unavailable")
+        from repro.core.config import SGraphConfig
+        from repro.graph.datasets import load_dataset
+        from repro.serving.pool import ServeSession
+        from repro.sgraph import SGraph
+
+        sg = SGraph(graph=load_dataset("uniform-er"),
+                    config=SGraphConfig(num_hubs=4, queries=("distance",)))
+        session = ServeSession(sg, workers=1, transport="tcp")
+        address = session.transport.address
+        killer = threading.Timer(0.4, session.close)
+        killer.start()
+        try:
+            rc = main(["attach", address, "--rounds", "200",
+                       "--queries", "4", "--pause", "0.05"])
+        finally:
+            killer.join()
+            session.close()
+        captured = capsys.readouterr()
+        assert rc == 1
+        assert "server went away" in captured.err
+        assert "attached to" in captured.out
+        # re-attaching after the teardown is also a clean nonzero exit —
+        # either the connect is refused or the registry is already empty
+        t0 = time.monotonic()
+        assert main(["attach", address]) == 1
+        assert time.monotonic() - t0 < 5.0
+        err = capsys.readouterr().err
+        assert "server went away" in err or "nothing published yet" in err

@@ -20,11 +20,19 @@ from repro.errors import ConfigError
 from repro.graph.dynamic_graph import DynamicGraph
 from repro.serving.codec import (
     ALIGN,
+    CHUNK_BYTES,
     PlaneGraph,
+    apply_plane_delta,
     decode_plane,
+    delta_header,
+    delta_patch_bytes,
+    diff_manifests,
+    encode_buffers,
     encode_plane,
+    encode_plane_delta,
     encoded_size,
     materialize_plane,
+    payload_manifest,
     plane_digest,
 )
 from repro.sgraph import SGraph
@@ -142,3 +150,155 @@ class TestRoundTrip:
         _sg, _view, plane = _published_plane(56)
         with pytest.raises(ConfigError):
             encode_plane_into(plane, bytearray(16))
+
+
+class TestChunkTables:
+    """The chunk-addressed side of the format: dirty ranges and deltas."""
+
+    def test_manifest_chunk_counts(self):
+        x = np.arange(CHUNK_BYTES // 8 * 3 + 5, dtype=np.float64)
+        payload = encode_buffers([("x", x)])
+        spec = payload_manifest(payload)["buffers"]["x"]
+        assert len(spec["chunks"]) == -(-x.nbytes // CHUNK_BYTES)
+        assert all(len(c) == 16 for c in spec["chunks"])
+
+    def test_empty_buffer_has_no_chunks(self):
+        empty = np.zeros(0, dtype=np.float32)
+        tail = np.ones(7, dtype=np.int32)
+        payload = encode_buffers([("empty", empty), ("tail", tail)])
+        manifest, arrays = decode_plane(payload)
+        assert manifest["buffers"]["empty"]["chunks"] == []
+        assert arrays["empty"].size == 0
+        np.testing.assert_array_equal(arrays["tail"], tail)
+        # a delta whose base and target both carry the empty buffer is
+        # composable and names no patches for it
+        delta = encode_plane_delta(payload, payload)
+        assert not any(n == "empty" for n, _s, _e
+                       in delta_header(delta)["patches"])
+        assert apply_plane_delta(payload, delta) == payload
+
+    def test_dirty_ranges_cover_exactly_the_churn(self):
+        x = np.zeros(CHUNK_BYTES, dtype=np.float64)  # 8 chunks
+        base = encode_buffers([("x", x)])
+        y = x.copy()
+        y[0] = 1.0                        # chunk 0
+        y[CHUNK_BYTES // 8 * 5] = 2.0     # chunk 5
+        target = encode_buffers([("x", y)])
+        dirty = diff_manifests(payload_manifest(base),
+                               payload_manifest(target))
+        assert dirty["x"] == [(0, CHUNK_BYTES),
+                              (5 * CHUNK_BYTES, 6 * CHUNK_BYTES)]
+        delta = encode_plane_delta(base, target)
+        assert delta_patch_bytes(delta) == 2 * CHUNK_BYTES
+        assert len(delta) < len(target)
+        assert apply_plane_delta(base, delta) == target
+
+    def test_adjacent_dirty_chunks_coalesce(self):
+        x = np.zeros(CHUNK_BYTES, dtype=np.float64)
+        base = encode_buffers([("x", x)])
+        y = x.copy()
+        y[CHUNK_BYTES // 8 * 2:CHUNK_BYTES // 8 * 4] = 3.0  # chunks 2+3
+        target = encode_buffers([("x", y)])
+        dirty = diff_manifests(payload_manifest(base),
+                               payload_manifest(target))
+        assert dirty["x"] == [(2 * CHUNK_BYTES, 4 * CHUNK_BYTES)]
+
+    @pytest.mark.parametrize("new_len", [CHUNK_BYTES // 8 * 8 + 100,
+                                         CHUNK_BYTES // 8 * 2])
+    def test_growth_and_shrink_force_full_buffer_patch(self, new_len):
+        x = np.arange(CHUNK_BYTES, dtype=np.float64)
+        base = encode_buffers([("x", x)])
+        y = np.arange(new_len, dtype=np.float64)
+        target = encode_buffers([("x", y)])
+        dirty = diff_manifests(payload_manifest(base),
+                               payload_manifest(target))
+        assert dirty["x"] is None
+        delta = encode_plane_delta(base, target)
+        assert delta_patch_bytes(delta) == y.nbytes
+        assert apply_plane_delta(base, delta) == target
+
+    def test_dtype_change_forces_full_resend(self):
+        x = np.arange(512, dtype=np.float64)
+        base = encode_buffers([("x", x)])
+        target = encode_buffers([("x", x.astype(np.float32))])
+        dirty = diff_manifests(payload_manifest(base),
+                               payload_manifest(target))
+        assert dirty["x"] is None
+        delta = encode_plane_delta(base, target)
+        assert delta_patch_bytes(delta) == x.astype(np.float32).nbytes
+        assert apply_plane_delta(base, delta) == target
+
+    def test_new_buffer_arrives_whole_and_dropped_buffer_vanishes(self):
+        x = np.arange(600, dtype=np.float64)
+        z = np.arange(40, dtype=np.int32)
+        base = encode_buffers([("x", x)])
+        target = encode_buffers([("x", x), ("z", z)])
+        dirty = diff_manifests(payload_manifest(base),
+                               payload_manifest(target))
+        assert dirty["x"] == [] and dirty["z"] is None
+        assert apply_plane_delta(base, encode_plane_delta(base, target)) \
+            == target
+        # the reverse direction simply stops mentioning z
+        back = diff_manifests(payload_manifest(target),
+                              payload_manifest(base))
+        assert set(back) == {"x"}
+        assert apply_plane_delta(target, encode_plane_delta(target, base)) \
+            == base
+
+    def test_identical_plane_delta_is_header_only(self):
+        """A republish under a new epoch ships zero buffer bytes."""
+        _sg, view, plane = _published_plane(57)
+        base = encode_plane(plane, epoch=view.epoch)
+        target = encode_plane(plane, epoch=view.epoch + 1)
+        delta = encode_plane_delta(base, target)
+        assert delta_patch_bytes(delta) == 0
+        assert len(delta) < len(target) // 4
+        assert apply_plane_delta(base, delta) == target
+
+    def test_published_epochs_compose_bit_identically(self):
+        """Real churn: the composed payload answers like the full fetch."""
+        sg, view, plane = _published_plane(58)
+        store = VersionedStore(sg)
+        base = encode_plane(plane, epoch=view.epoch)
+        verts = sorted(sg.graph.vertices())
+        rng = random.Random(21)
+        for _ in range(5):
+            u, v = rng.sample(verts[:20], 2)
+            sg.add_edge(u, v, rng.uniform(0.1, 0.4))
+        new_view = store.publish()
+        target = encode_plane(new_view.dense_plane("distance"),
+                              epoch=new_view.epoch)
+        delta = encode_plane_delta(base, target)
+        composed = apply_plane_delta(base, delta)
+        assert composed == target
+        assert plane_digest(composed) == plane_digest(target)
+        manifest, arrays = decode_plane(composed)
+        remote = materialize_plane(manifest, arrays)
+        engine = PairwiseEngine(
+            PlaneGraph(remote.csr), policy=PruningPolicy.UPPER_AND_LOWER,
+            dense=remote,
+        )
+        for _ in range(20):
+            s, t = rng.sample(verts, 2)
+            value, _stats = engine.best_cost(s, t)
+            assert value == new_view.distance(s, t).value
+
+    def test_wrong_base_rejected(self):
+        _sg, view, plane = _published_plane(59)
+        a = encode_plane(plane, epoch=view.epoch)
+        b = encode_plane(plane, epoch=view.epoch + 1)
+        c = encode_plane(plane, epoch=view.epoch + 2)
+        delta = encode_plane_delta(b, c)
+        with pytest.raises(ConfigError, match="base mismatch"):
+            apply_plane_delta(a, delta)
+
+    def test_corrupt_patch_bytes_rejected(self):
+        x = np.zeros(2048, dtype=np.float64)
+        base = encode_buffers([("x", x)])
+        y = x.copy()
+        y[5] = 9.0
+        target = encode_buffers([("x", y)])
+        delta = bytearray(encode_plane_delta(base, target))
+        delta[-1] ^= 0xFF  # flip one patched byte
+        with pytest.raises(ConfigError, match="digest"):
+            apply_plane_delta(base, bytes(delta))

@@ -266,3 +266,129 @@ class TestNetReader:
             NetReader("not-an-address")
         with pytest.raises(ConfigError):
             NetReader("127.0.0.1:1")  # nothing listening
+
+
+def _churn_weights(sg, rng, count: int = 6) -> None:
+    """Re-weight existing edges only: topology (and CSR layout) stable."""
+    g = sg.graph
+    verts = sorted(g.vertices())
+    done = 0
+    while done < count:
+        u, v = rng.choice(verts), rng.choice(verts)
+        if u == v or not g.has_edge(u, v):
+            continue
+        sg.add_edge(u, v, rng.uniform(0.5, 3.0))
+        done += 1
+
+
+class TestDeltaSync:
+    def test_delta_bit_identical_to_full_across_epochs(self):
+        """One store, delta and full TCP sessions, three churn epochs.
+
+        Every answer (value AND stats counters) must agree pair for pair
+        — the composed plane is bit-identical to the full fetch — and the
+        delta session must actually have moved fewer bytes than the
+        all-full hypothetical.
+        """
+        sg = _sgraph(71)
+        store = VersionedStore(sg)
+        rng = random.Random(17)
+        verts = sorted(sg.graph.vertices())
+        with ServeSession(sg, workers=1, store=store,
+                          transport="tcp") as full_sess, \
+                ServeSession(sg, workers=1, store=store, transport="tcp",
+                             delta=True) as delta_sess:
+            for round_no in range(3):
+                if round_no:
+                    _churn_weights(sg, rng)
+                    full_sess.publish()  # one publish reaches both
+                pairs = [tuple(rng.sample(verts, 2)) for _ in range(16)]
+                for s, t in pairs:
+                    f_value, f_stats, f_epoch = full_sess.distance(s, t)
+                    d_value, d_stats, d_epoch = delta_sess.distance(s, t)
+                    assert d_value == f_value
+                    assert _stats_tuple(d_stats) == _stats_tuple(f_stats)
+                    assert d_epoch == f_epoch
+            row = delta_sess.stats_row()
+            assert row["delta"] is True
+            assert row["delta_fetches"] >= 2  # epochs 2 and 3
+            assert row["full_fetches"] >= 1   # the bootstrap fetch
+            assert 0 < row["bytes_sent"] < row["bytes_full"]
+            full_row = full_sess.stats_row()
+            assert full_row["delta"] is False
+            assert full_row["delta_fetches"] == 0
+            assert full_row["bytes_sent"] == full_row["bytes_full"] > 0
+
+    def test_evicted_base_falls_back_to_full_fetch(self):
+        """cache_planes=1: the reader's base digest is never in the
+        server's history by fetch time, so every refresh is a full frame
+        (mode="full" fallback, not an error)."""
+        sg = _sgraph(72)
+        rng = random.Random(19)
+        with sg.serve(workers=1, transport="tcp", delta=True,
+                      cache_planes=1) as session:
+            session.distance(0, 1)
+            for _ in range(2):
+                _churn_weights(sg, rng)
+                session.publish()
+                session.distance(0, 1)
+            row = session.stats_row()
+            assert row["full_fetches"] >= 3
+            assert row["delta_fetches"] == 0
+            assert row["cache_planes"] == 1
+            assert row["cached"] == 1
+
+    def test_standalone_reader_delta_matches_view(self):
+        sg = _sgraph(73)
+        rng = random.Random(23)
+        verts = sorted(sg.graph.vertices())
+        with sg.serve(workers=1, transport="tcp", delta=True) as session:
+            with NetReader(session.transport.address,
+                           delta=True) as reader:
+                for _ in range(3):
+                    _churn_weights(sg, rng)
+                    view = session.publish()
+                    assert reader.refresh() == view.epoch
+                    for _ in range(10):
+                        s, t = rng.sample(verts, 2)
+                        value, _stats, epoch = reader.distance(s, t)
+                        assert value == view.distance(s, t).value
+                        assert epoch == view.epoch
+                transfer = reader.transfer_stats()
+                assert transfer["delta_fetches"] >= 2
+                assert transfer["full_fetches"] >= 1
+                assert transfer["bytes_received"] < transfer["bytes_full"]
+                # the stats wire op surfaces cache depth and occupancy
+                stats = reader.client.stats()
+                assert stats["cache"]["cache_planes"] == 4
+                assert 1 <= stats["cache"]["cached"] <= 4
+                assert stats["transfer"]["delta_fetches"] >= 2
+
+    def test_server_death_surfaces_as_query_error(self):
+        """A reader whose server dies mid-session gets a QueryError (the
+        CLI's clean-exit contract), never a raw ConnectionResetError."""
+        from repro.errors import QueryError
+
+        sg = _sgraph(74)
+        session = ServeSession(sg, workers=1, transport="tcp")
+        try:
+            reader = NetReader(session.transport.address)
+        except Exception:
+            session.close()
+            raise
+        try:
+            value, _stats, _epoch = reader.distance(0, 1)
+            assert value >= 0
+            session.close()
+            with pytest.raises(QueryError):
+                # the probe may need a couple of calls before the socket
+                # reports the peer is gone
+                for _ in range(10):
+                    reader.distance(0, 1)
+                    time.sleep(0.05)
+        finally:
+            try:
+                reader.close()
+            except Exception:
+                pass
+            session.close()
