@@ -1,4 +1,4 @@
-"""One function per reconstructed experiment (E1–E21).
+"""One function per reconstructed experiment (E1–E24).
 
 Each ``run_eN`` returns the table rows the corresponding paper table/figure
 would carry; the ``benchmarks/bench_eN_*.py`` modules execute them under
@@ -1413,6 +1413,196 @@ def run_e23_delta_sync(
     return rows
 
 
+def _e24_stats_key(stats) -> tuple:
+    """The six pre-workspace counters — the bit-identity comparison basis.
+
+    Workspace counters are excluded on purpose: the reference (cold) path
+    reports zero hits by construction, and the parity claim is about the
+    *search*, which must not observe the state regime it runs in.
+    """
+    return (
+        stats.activations, stats.pushes, stats.relaxations,
+        stats.pruned_by_lower_bound, stats.pruned_by_upper_bound,
+        stats.answered_by_index,
+    )
+
+
+def run_e24_workspace(
+    side: Optional[int] = None, queries: Optional[int] = None
+) -> List[Row]:
+    """Warm (reused-workspace) vs cold (fresh-state) dense query latency.
+
+    One ≥100k-vertex plane (a ``side``×``side`` grid, 317² = 100,489 by
+    default) served by two engines over the *same* CSR and hub tables: the
+    warm engine reuses one :class:`SearchWorkspace` across queries
+    (sparse-reset, O(touched) setup), the cold engine is the pre-workspace
+    reference — fresh O(V) state every call (``reuse_workspace=False``).
+
+    Workloads:
+
+    * ``pairwise-pruned`` — endpoints within two cells of a hub, so the
+      index bounds are tight and the search settles after touching a few
+      dozen ids.  Setup dominated these queries before; the bench asserts
+      the warm median is at least 2x below the cold one.
+    * ``pairwise-unpruned`` — random pairs up to 16 cells apart under
+      ``policy="none"``: the search does real traversal work, so the reuse
+      win shrinks toward 1x.  Reported unasserted — it documents where the
+      optimization stops mattering.
+    * ``batched`` — ``one_to_many`` from a near-hub source to 16 near-hub
+      targets, same warm/cold split.
+
+    The ``parity`` rows re-run every workload under all three policies on
+    both engines and compare values AND stats (:func:`_e24_stats_key`);
+    the bench asserts every comparison matches — reuse can never trade
+    correctness for latency.  The ``workspace`` row carries the warm
+    engine's lifetime counters: exactly one allocation regardless of how
+    many queries ran.
+
+    ``REPRO_E24_SIDE`` / ``REPRO_E24_QUERIES`` override the plane side and
+    per-workload query count.
+    """
+    from repro.graph.generators import grid_graph
+
+    if side is None:
+        env = os.environ.get("REPRO_E24_SIDE", "")
+        side = int(env) if env.strip() else 317
+    if queries is None:
+        env = os.environ.get("REPRO_E24_QUERIES", "")
+        queries = int(env) if env.strip() else 32
+
+    g = grid_graph(side, side, seed=13, weight_range=(1.0, 10.0))
+    sg = SGraph(graph=g, config=SGraphConfig(
+        num_hubs=4, queries=("distance",), backend="dense",
+    ))
+    view = VersionedStore(sg).publish()
+    plane = view.dense_plane()
+    index = view.engine("distance").index
+    graph = index.graph
+    rng = random.Random(24)
+
+    def near(hub: int, radius: int) -> int:
+        r, c = divmod(hub, side)
+        rr = min(max(r + rng.randrange(-radius, radius + 1), 0), side - 1)
+        cc = min(max(c + rng.randrange(-radius, radius + 1), 0), side - 1)
+        return rr * side + cc
+
+    # Keep only pairs the index *prunes* (small traversal) rather than
+    # *answers* (zero traversal): index-answered queries return before the
+    # workspace is acquired, so they carry no setup cost in either regime.
+    probe = PairwiseEngine(graph, index=index, policy="upper+lower",
+                           dense=plane)
+    pruned_pairs: List[Tuple[int, int]] = []
+    while len(pruned_pairs) < queries:
+        hub = rng.choice(index.hubs)
+        s, t = near(hub, 2), near(hub, 2)
+        if s == t:
+            continue
+        _probe_value, probe_stats = probe.best_cost(s, t)
+        if probe_stats.touched_reset > 0:
+            pruned_pairs.append((s, t))
+    unpruned_pairs: List[Tuple[int, int]] = []
+    while len(unpruned_pairs) < queries:
+        r, c = rng.randrange(side - 16), rng.randrange(side - 16)
+        dr, dc = rng.randrange(16), rng.randrange(16)
+        if dr or dc:
+            unpruned_pairs.append((r * side + c, (r + dr) * side + (c + dc)))
+    batch_source = near(index.hubs[0], 2)
+    batch_targets = [near(rng.choice(index.hubs), 2) for _ in range(16)]
+
+    def engines(policy: str) -> Tuple[PairwiseEngine, PairwiseEngine]:
+        warm = PairwiseEngine(graph, index=index, policy=policy, dense=plane)
+        cold = PairwiseEngine(graph, index=index, policy=policy, dense=plane,
+                              reuse_workspace=False)
+        return warm, cold
+
+    def median_ms(run: Callable[[], object], reps: int) -> Tuple[float, object]:
+        samples = []
+        last = None
+        for _ in range(reps):
+            start = time.perf_counter()
+            last = run()
+            samples.append(time.perf_counter() - start)
+        samples.sort()
+        return 1e3 * samples[len(samples) // 2], last
+
+    rows: List[Row] = []
+    vertices = plane.csr.num_vertices
+
+    def sweep(mode: str, policy: str, pairs: List[Tuple[int, int]]) -> None:
+        warm, cold = engines(policy)
+        for s, t in pairs[: max(1, len(pairs) // 4)]:
+            warm.best_cost(s, t)  # allocate + settle the workspace
+        touched: List[int] = []
+        warm_samples = []
+        cold_samples = []
+        for s, t in pairs:
+            start = time.perf_counter()
+            _value, stats = warm.best_cost(s, t)
+            warm_samples.append(time.perf_counter() - start)
+            touched.append(stats.touched_reset)
+        for s, t in pairs:
+            start = time.perf_counter()
+            cold.best_cost(s, t)
+            cold_samples.append(time.perf_counter() - start)
+        warm_samples.sort()
+        cold_samples.sort()
+        touched.sort()
+        warm_ms = 1e3 * warm_samples[len(warm_samples) // 2]
+        cold_ms = 1e3 * cold_samples[len(cold_samples) // 2]
+        rows.append({
+            "mode": mode, "policy": policy, "vertices": vertices,
+            "queries": len(pairs),
+            "warm_ms": round(warm_ms, 4), "cold_ms": round(cold_ms, 4),
+            "ratio": round(cold_ms / warm_ms, 2) if warm_ms else float("inf"),
+            "touched_med": touched[len(touched) // 2],
+        })
+
+    sweep("pairwise-pruned", "upper+lower", pruned_pairs)
+    sweep("pairwise-unpruned", "none", unpruned_pairs)
+
+    # Batched one-to-many, warm vs cold.
+    warm, cold = engines("upper+lower")
+    warm.one_to_many(batch_source, batch_targets)
+    warm_ms, _ = median_ms(
+        lambda: warm.one_to_many(batch_source, batch_targets), 8
+    )
+    cold_ms, _ = median_ms(
+        lambda: cold.one_to_many(batch_source, batch_targets), 8
+    )
+    rows.append({
+        "mode": "batched", "policy": "upper+lower", "vertices": vertices,
+        "queries": 8,
+        "warm_ms": round(warm_ms, 4), "cold_ms": round(cold_ms, 4),
+        "ratio": round(cold_ms / warm_ms, 2) if warm_ms else float("inf"),
+        "touched_med": "-",
+    })
+
+    # Bit-identity parity sweep: warm vs the pre-workspace reference path,
+    # every policy, values AND stats, pairwise and batched.
+    for policy in ("none", "upper-only", "upper+lower"):
+        warm, cold = engines(policy)
+        matched = total = 0
+        for s, t in pruned_pairs + unpruned_pairs:
+            wv, ws_ = warm.best_cost(s, t)
+            cv, cs = cold.best_cost(s, t)
+            total += 1
+            if wv == cv and _e24_stats_key(ws_) == _e24_stats_key(cs):
+                matched += 1
+        wv, ws_ = warm.one_to_many(batch_source, batch_targets)
+        cv, cs = cold.one_to_many(batch_source, batch_targets)
+        total += 1
+        if wv == cv and _e24_stats_key(ws_) == _e24_stats_key(cs):
+            matched += 1
+        ws_counters = warm.workspace_stats()
+        rows.append({
+            "mode": "parity", "policy": policy, "vertices": vertices,
+            "queries": total, "parity": f"{matched}/{total}",
+            "workspace_allocs": ws_counters["workspace_allocs"],
+            "workspace_hits": ws_counters["workspace_hits"],
+        })
+    return rows
+
+
 # ---------------------------------------------------------------------------
 
 ALL_EXPERIMENTS: Dict[str, Callable[[], List[Row]]] = {
@@ -1439,6 +1629,7 @@ ALL_EXPERIMENTS: Dict[str, Callable[[], List[Row]]] = {
     "E21 shm serving": run_e21_shm_serving,
     "E22 net serving": run_e22_net_serving,
     "E23 delta sync": run_e23_delta_sync,
+    "E24 workspace reuse": run_e24_workspace,
 }
 
 

@@ -62,7 +62,10 @@ def _cmd_query(args: argparse.Namespace) -> int:
         "reachability": sg.reachable,
         "bottleneck": sg.bottleneck,
     }
-    result = dispatch[args.kind](args.source, args.target)
+    if args.repeat < 1:
+        raise ConfigError("--repeat must be >= 1")
+    run = dispatch[args.kind]
+    result = run(args.source, args.target)
     stats = result.stats
     print(f"{args.kind}({args.source}, {args.target}) = {result.value}")
     print(
@@ -70,6 +73,28 @@ def _cmd_query(args: argparse.Namespace) -> int:
         f"{stats.activations} activations, "
         f"answered_by_index={stats.answered_by_index}"
     )
+    if args.repeat > 1:
+        # Steady-state measurement: the first run above was the cold query
+        # (it allocated the search workspace); the repeats reuse it, so
+        # their median is the warm-workspace serving latency.
+        warm = sorted(run(args.source, args.target).stats.elapsed
+                      for _ in range(args.repeat - 1))
+        median = warm[len(warm) // 2]
+        print(
+            f"  repeat x{args.repeat}: cold {1e3 * stats.elapsed:.3f} ms, "
+            f"warm median {1e3 * median:.3f} ms"
+        )
+        family = {"distance": "distance", "hops": "hops",
+                  "reachability": "distance"}.get(args.kind)
+        if family is not None:
+            ws = sg.workspace_stats(family)
+            if ws["workspace_allocs"]:
+                print(
+                    f"  workspace: {ws['workspace_allocs']} allocs, "
+                    f"{ws['workspace_hits']} hits, "
+                    f"{ws['workspace_resets']} resets, "
+                    f"{ws['touched_reset']} entries sparse-reset"
+                )
     if args.path and args.kind == "distance":
         path_result = sg.shortest_path(args.source, args.target)
         print(f"  path: {path_result.path}")
@@ -326,6 +351,9 @@ def build_parser() -> argparse.ArgumentParser:
                        choices=sorted(STRATEGIES))
     query.add_argument("--path", action="store_true",
                        help="also print the witness path (distance only)")
+    query.add_argument("--repeat", type=int, default=1,
+                       help="run the query N times and report cold vs "
+                            "warm-workspace (steady-state) latency")
     query.add_argument("--backend", default="auto",
                        choices=["auto", "dense", "dict"],
                        help="serving plane for distance/hops queries")
@@ -419,7 +447,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     experiment = sub.add_parser("experiment",
                                 help="regenerate an experiment table")
-    experiment.add_argument("id", help="e1..e23, or 'all'")
+    experiment.add_argument("id", help="e1..e24, or 'all'")
     experiment.add_argument("--backend", default="auto",
                             choices=["auto", "dense", "dict"],
                             help="serving plane for backend-aware experiments")

@@ -360,16 +360,22 @@ class DenseManyBounds:
         ``QueryBounds.prunable_forward`` decision (residuals are clamped
         non-negative and ``inf`` marks a proof of unreachability, so the
         single comparison also covers the ``need <= 0`` and unreachable
-        short-circuits).
+        short-circuits).  Served from the tables' per-epoch row LRU (see
+        :meth:`DenseHubTables.residual_list_for`); the returned list is
+        shared and must not be mutated.
         """
-        return self._tables.residual_rows_to_target(target).tolist()
+        return self._tables.residual_list_for(target)
 
     def residual_lists(self, targets: Sequence[int]) -> List[list]:
-        """One :meth:`residual_list` row per target, batched.
+        """One :meth:`residual_list` row per target.
 
-        A single hub-chunked numpy pass (see
-        :meth:`DenseHubTables.residual_rows_to_targets`) replaces ``m``
-        per-target passes; each returned row is bit-identical to its
-        :meth:`residual_list` counterpart.
+        Each row comes from the tables' per-epoch LRU, so a steady
+        workload re-querying the same target set pays the O(|V|·k)
+        materialization once per target per epoch instead of once per
+        call.  Rows are bit-identical to an uncached
+        :meth:`DenseHubTables.residual_rows_to_target` pass (see that
+        method); the returned outer list is fresh per call — the search
+        swap-removes from it — but the rows themselves are shared and
+        read-only.
         """
-        return self._tables.residual_rows_to_targets(targets).tolist()
+        return [self._tables.residual_list_for(t) for t in targets]

@@ -29,6 +29,7 @@ from repro.core.paths import hub_witness_path, stitch_bidirectional
 from repro.core.pruning import PruningPolicy
 from repro.core.semiring import SHORTEST_DISTANCE, PathSemiring, ShortestDistance
 from repro.core.stats import QueryStats
+from repro.core.workspace import SearchWorkspace
 from repro.errors import ConfigError, QueryError
 from repro.utils.pqueue import IndexedHeap
 
@@ -58,6 +59,16 @@ class PairwiseEngine:
         Zero-argument callable producing the :class:`DensePlane` on demand.
         The publish path uses this to keep publishing O(Δ): the plane is
         built (and cached) at the *first dense query*, not at construction.
+    workspace:
+        An optional :class:`SearchWorkspace` to adopt.  Long-lived owners
+        (the SGraph facade, serving workers) pass the same workspace into
+        each epoch's fresh engine so the O(V) search state survives epoch
+        handoff; when omitted the engine allocates its own at the first
+        dense query.
+    reuse_workspace:
+        When False every dense query runs in a freshly allocated
+        workspace — the pre-workspace cold path, kept for benchmarking the
+        reuse win (E24) and for bit-identity reference runs.
     """
 
     def __init__(
@@ -68,6 +79,8 @@ class PairwiseEngine:
         semiring: Optional[PathSemiring] = None,
         dense: Optional[DensePlane] = None,
         dense_factory: Optional[Callable[[], DensePlane]] = None,
+        workspace: Optional[SearchWorkspace] = None,
+        reuse_workspace: bool = True,
     ) -> None:
         self._graph = graph
         self._policy = PruningPolicy.parse(policy)
@@ -104,6 +117,44 @@ class PairwiseEngine:
             )
         self._dense = dense
         self._dense_factory = dense_factory
+        self._ws = workspace
+        self._reuse_workspace = reuse_workspace
+
+    def _workspace_for(self, num_vertices: int) -> SearchWorkspace:
+        """The workspace one dense search should run in.
+
+        Steady state returns the engine's bound workspace (allocating it on
+        first use).  A fresh throwaway is handed out when reuse is disabled
+        (cold-reference mode) or, defensively, if the bound workspace is
+        somehow still claimed — dense verbs never nest today, but a stale
+        ``in_use`` flag must degrade to a slow query, not a wrong one.
+        """
+        if not self._reuse_workspace:
+            return SearchWorkspace(num_vertices)
+        ws = self._ws
+        if ws is None:
+            ws = self._ws = SearchWorkspace(num_vertices)
+        elif ws.in_use:
+            return SearchWorkspace(num_vertices)
+        return ws
+
+    @property
+    def workspace(self) -> Optional[SearchWorkspace]:
+        """The engine's bound workspace (None until the first dense query)."""
+        return self._ws
+
+    def workspace_stats(self) -> Dict[str, int]:
+        """Lifetime reuse counters of the bound workspace (zeros if unbound)."""
+        ws = self._ws
+        if ws is None:
+            return {
+                "workspace_vertices": 0,
+                "workspace_allocs": 0,
+                "workspace_hits": 0,
+                "workspace_resets": 0,
+                "touched_reset": 0,
+            }
+        return ws.stats_row()
 
     def _dense_ready(self) -> Optional[DensePlane]:
         """The dense plane, forcing the lazy factory exactly once."""
@@ -236,6 +287,29 @@ class PairwiseEngine:
                 )
             return self._path_search_dense(source, target)
         return self._path_search(source, target)
+
+    def expand(
+        self,
+        source: int,
+        max_results: Optional[int],
+        radius: Optional[float],
+    ) -> list:
+        """Truncated Dijkstra from ``source`` (the nearest/within verbs).
+
+        Returns ``(vertex, distance)`` pairs in non-decreasing distance
+        order, source excluded.  Over a dense plane the search runs in the
+        engine's reusable workspace (O(touched) setup); without one it
+        falls back to the dict-plane reference expansion.
+        """
+        plane = self._dense_ready()
+        if plane is None:
+            return expand_from_graph(self._graph, source, max_results, radius)
+        if not self._graph.has_vertex(source):
+            raise QueryError(f"query endpoint {source} is not in the graph")
+        ws = self._workspace_for(plane.csr.num_vertices)
+        return expand_from_csr(
+            plane.csr, source, max_results, radius, workspace=ws
+        )
 
     def one_to_many(
         self, source: int, targets: Sequence[int]
@@ -421,33 +495,59 @@ class PairwiseEngine:
             bounds.residual_lists(act_t) if use_lb else []
         )
 
-        n = csr.num_vertices
-        g = [inf] * n
-        g[s] = 0.0
-        settled = bytearray(n)
-        # Dense id -> position in the active lists (-1 when not active);
-        # the array form of the dict path's `remaining` membership test.
-        slot = [-1] * n
-        for i, td in enumerate(act_t):
-            slot[td] = i
-        ids = csr.ids
-        indptr, indices, weights = csr.out_lists()
-        heap = IndexedHeap()
-        heap.push(s, 0.0)
-        m = len(act_t)
-        while heap and m:
-            v, _priority = heap.pop()
-            cost_v = g[v]
-            settled[v] = 1
-            # Finalize targets the frontier can no longer improve on
-            # (swap-removal keeps the active lists packed; the answer set
-            # is order-independent, so removal order does not matter).
-            i = 0
-            while i < m:
-                if cost_v >= act_inc[i]:
-                    td = act_t[i]
-                    results[ids[td]] = act_inc[i]
-                    slot[td] = -1
+        # Snapshot the active target ids before the search swap-removes
+        # them: the slot map is the one workspace array not covered by the
+        # heap journal, so it is reset from this list in `finally`.
+        slot_ids = list(act_t)
+        ws = self._workspace_for(csr.num_vertices)
+        stats.workspace_hits = 1 if ws.acquire(csr.num_vertices) else 0
+        try:
+            g = ws.g_f
+            g[s] = 0.0
+            settled = ws.settled_f
+            # Dense id -> position in the active lists (-1 when not active);
+            # the array form of the dict path's `remaining` membership test.
+            slot = ws.ensure_slot()
+            for i, td in enumerate(act_t):
+                slot[td] = i
+            ids = csr.ids
+            indptr, indices, weights = csr.out_lists()
+            heap = ws.heap_f
+            heap.push(s, 0.0)
+            m = len(act_t)
+            while heap and m:
+                v, _priority = heap.pop()
+                cost_v = g[v]
+                settled[v] = 1
+                # Finalize targets the frontier can no longer improve on
+                # (swap-removal keeps the active lists packed; the answer
+                # set is order-independent, so removal order does not
+                # matter).
+                i = 0
+                while i < m:
+                    if cost_v >= act_inc[i]:
+                        td = act_t[i]
+                        results[ids[td]] = act_inc[i]
+                        slot[td] = -1
+                        m -= 1
+                        if i != m:
+                            act_t[i] = act_t[m]
+                            act_inc[i] = act_inc[m]
+                            if use_lb:
+                                act_res[i] = act_res[m]
+                            slot[act_t[i]] = i
+                        act_t.pop()
+                        act_inc.pop()
+                        if use_lb:
+                            act_res.pop()
+                    else:
+                        i += 1
+                if not m:
+                    break
+                i = slot[v]
+                if i >= 0:
+                    results[ids[v]] = cost_v
+                    slot[v] = -1
                     m -= 1
                     if i != m:
                         act_t[i] = act_t[m]
@@ -459,59 +559,48 @@ class PairwiseEngine:
                     act_inc.pop()
                     if use_lb:
                         act_res.pop()
-                else:
-                    i += 1
-            if not m:
-                break
-            i = slot[v]
-            if i >= 0:
-                results[ids[v]] = cost_v
-                slot[v] = -1
-                m -= 1
-                if i != m:
-                    act_t[i] = act_t[m]
-                    act_inc[i] = act_inc[m]
-                    if use_lb:
-                        act_res[i] = act_res[m]
-                    slot[act_t[i]] = i
-                act_t.pop()
-                act_inc.pop()
-                if use_lb:
-                    act_res.pop()
-                if not m:
-                    break
-            if use_lb:
-                # Expand only vertices that can still improve on *some*
-                # remaining target's incumbent.  `residual >= inc - g(v)`
-                # is the dict path's full prunable_forward decision: the
-                # clamped residual covers `need <= 0` and `inf` marks a
-                # proof of unreachability (inf >= inf prunes too).
-                useful = False
-                for i in range(m):
-                    if act_res[i][v] < act_inc[i] - cost_v:
-                        useful = True
+                    if not m:
                         break
-                if not useful:
-                    stats.pruned_by_lower_bound += 1
-                    continue
-            stats.activations += 1
-            for k in range(indptr[v], indptr[v + 1]):
-                u = indices[k]
-                stats.relaxations += 1
-                if settled[u]:
-                    continue
-                candidate = cost_v + weights[k]
-                if candidate < g[u]:
-                    g[u] = candidate
-                    heap.push(u, candidate)
-                    stats.pushes += 1
-                    # A better label for a live target tightens its incumbent.
-                    j = slot[u]
-                    if j >= 0 and candidate < act_inc[j]:
-                        act_inc[j] = candidate
-        for i in range(m):
-            results[ids[act_t[i]]] = act_inc[i]
-        return results, stats
+                if use_lb:
+                    # Expand only vertices that can still improve on *some*
+                    # remaining target's incumbent.  `residual >= inc - g(v)`
+                    # is the dict path's full prunable_forward decision: the
+                    # clamped residual covers `need <= 0` and `inf` marks a
+                    # proof of unreachability (inf >= inf prunes too).
+                    useful = False
+                    for i in range(m):
+                        if act_res[i][v] < act_inc[i] - cost_v:
+                            useful = True
+                            break
+                    if not useful:
+                        stats.pruned_by_lower_bound += 1
+                        continue
+                stats.activations += 1
+                for k in range(indptr[v], indptr[v + 1]):
+                    u = indices[k]
+                    stats.relaxations += 1
+                    if settled[u]:
+                        continue
+                    candidate = cost_v + weights[k]
+                    if candidate < g[u]:
+                        g[u] = candidate
+                        heap.push(u, candidate)
+                        stats.pushes += 1
+                        # A better label for a live target tightens its
+                        # incumbent.
+                        j = slot[u]
+                        if j >= 0 and candidate < act_inc[j]:
+                            act_inc[j] = candidate
+            for i in range(m):
+                results[ids[act_t[i]]] = act_inc[i]
+            return results, stats
+        finally:
+            slot = ws.slot
+            if slot is not None:
+                for td in slot_ids:
+                    slot[td] = -1
+            stats.workspace_resets = 1
+            stats.touched_reset = ws.release()
 
     # -- path-mode search ---------------------------------------------------------
 
@@ -668,108 +757,118 @@ class PairwiseEngine:
             # beats it, the witness path itself is reconstructed.
             incumbent = bounds.upper_bound
 
-        n = csr.num_vertices
-        g_f = [inf] * n
-        g_b = [inf] * n
-        g_f[s] = 0.0
-        g_b[t] = 0.0
-        parent_f = [-1] * n
-        parent_b = [-1] * n
-        settled_f = bytearray(n)
-        settled_b = bytearray(n)
-        heap_f = IndexedHeap()
-        heap_b = IndexedHeap()
-        heap_f.push(s, 0.0)
-        heap_b.push(t, 0.0)
-        indptr_f, indices_f, weights_f = csr.out_lists()
-        indptr_b, indices_b, weights_b = csr.in_lists()
-        use_ub = self._policy.uses_index
-        use_lb = self._policy.uses_lower_bounds
-        best_meet = -1
-        best_meet_cost = inf
+        ws = self._workspace_for(csr.num_vertices)
+        stats.workspace_hits = 1 if ws.acquire(csr.num_vertices) else 0
+        ws.ensure_parents()
+        try:
+            g_f = ws.g_f
+            g_b = ws.g_b
+            g_f[s] = 0.0
+            g_b[t] = 0.0
+            parent_f = ws.parent_f
+            parent_b = ws.parent_b
+            settled_f = ws.settled_f
+            settled_b = ws.settled_b
+            heap_f = ws.heap_f
+            heap_b = ws.heap_b
+            heap_f.push(s, 0.0)
+            heap_b.push(t, 0.0)
+            indptr_f, indices_f, weights_f = csr.out_lists()
+            indptr_b, indices_b, weights_b = csr.in_lists()
+            use_ub = self._policy.uses_index
+            use_lb = self._policy.uses_lower_bounds
+            best_meet = -1
+            best_meet_cost = inf
 
-        while heap_f and heap_b:
-            if incumbent != inf:
-                key_f, _pf = heap_f.peek()
-                key_b, _pb = heap_b.peek()
-                if g_f[key_f] + g_b[key_b] > incumbent:
-                    break
-            forward = len(heap_f) <= len(heap_b)
-            if forward:
-                heap, g, g_other, settled, parent = (
-                    heap_f, g_f, g_b, settled_f, parent_f,
-                )
-                indptr, indices, weights = indptr_f, indices_f, weights_f
-            else:
-                heap, g, g_other, settled, parent = (
-                    heap_b, g_b, g_f, settled_b, parent_b,
-                )
-                indptr, indices, weights = indptr_b, indices_b, weights_b
+            while heap_f and heap_b:
+                if incumbent != inf:
+                    key_f, _pf = heap_f.peek()
+                    key_b, _pb = heap_b.peek()
+                    if g_f[key_f] + g_b[key_b] > incumbent:
+                        break
+                forward = len(heap_f) <= len(heap_b)
+                if forward:
+                    heap, g, g_other, settled, parent = (
+                        heap_f, g_f, g_b, settled_f, parent_f,
+                    )
+                    indptr, indices, weights = indptr_f, indices_f, weights_f
+                else:
+                    heap, g, g_other, settled, parent = (
+                        heap_b, g_b, g_f, settled_b, parent_b,
+                    )
+                    indptr, indices, weights = indptr_b, indices_b, weights_b
 
-            v, _priority = heap.pop()
-            cost_v = g[v]
-            settled[v] = 1
+                v, _priority = heap.pop()
+                cost_v = g[v]
+                settled[v] = 1
 
-            other = g_other[v]
-            if other != inf:
-                candidate = cost_v + other
-                # Accept ties so an optimal meet is recorded even when the
-                # incumbent was seeded by an equally-good hub witness.
-                if candidate <= incumbent:
-                    incumbent = candidate
-                    best_meet = v
-                    best_meet_cost = candidate
+                other = g_other[v]
+                if other != inf:
+                    candidate = cost_v + other
+                    # Accept ties so an optimal meet is recorded even when
+                    # the incumbent was seeded by an equally-good hub
+                    # witness.
+                    if candidate <= incumbent:
+                        incumbent = candidate
+                        best_meet = v
+                        best_meet_cost = candidate
 
-            # Strict pruning only: tied vertices may carry the optimal path.
-            if use_ub and incumbent != inf and incumbent < cost_v:
-                stats.pruned_by_upper_bound += 1
-                continue
-            if use_lb:
-                prunable = (
-                    bounds.prunable_forward(v, cost_v, incumbent, strict=True)
-                    if forward
-                    else bounds.prunable_backward(v, cost_v, incumbent,
-                                                  strict=True)
-                )
-                if prunable:
-                    stats.pruned_by_lower_bound += 1
+                # Strict pruning only: tied vertices may carry the optimal
+                # path.
+                if use_ub and incumbent != inf and incumbent < cost_v:
+                    stats.pruned_by_upper_bound += 1
                     continue
+                if use_lb:
+                    prunable = (
+                        bounds.prunable_forward(v, cost_v, incumbent,
+                                                strict=True)
+                        if forward
+                        else bounds.prunable_backward(v, cost_v, incumbent,
+                                                      strict=True)
+                    )
+                    if prunable:
+                        stats.pruned_by_lower_bound += 1
+                        continue
 
-            stats.activations += 1
-            for k in range(indptr[v], indptr[v + 1]):
-                u = indices[k]
-                stats.relaxations += 1
-                if settled[u]:
-                    continue
-                candidate = cost_v + weights[k]
-                if candidate < g[u]:
-                    g[u] = candidate
-                    parent[u] = v
-                    heap.push(u, candidate)
-                    stats.pushes += 1
+                stats.activations += 1
+                for k in range(indptr[v], indptr[v + 1]):
+                    u = indices[k]
+                    stats.relaxations += 1
+                    if settled[u]:
+                        continue
+                    candidate = cost_v + weights[k]
+                    if candidate < g[u]:
+                        g[u] = candidate
+                        parent[u] = v
+                        heap.push(u, candidate)
+                        stats.pushes += 1
 
-        if incumbent == inf:
-            return inf, None, stats
-        if best_meet >= 0 and best_meet_cost == incumbent:
-            # Stitch both parent chains in dense-id space; translate to
-            # caller ids only here, once per path vertex.
-            ids = csr.ids
-            path: List[int] = []
-            node = best_meet
-            while node != -1:
-                path.append(ids[node])
-                node = parent_f[node]
-            path.reverse()
-            node = parent_b[best_meet]
-            while node != -1:
-                path.append(ids[node])
-                node = parent_b[node]
+            if incumbent == inf:
+                return inf, None, stats
+            if best_meet >= 0 and best_meet_cost == incumbent:
+                # Stitch both parent chains in dense-id space; translate to
+                # caller ids only here, once per path vertex.
+                ids = csr.ids
+                path: List[int] = []
+                node = best_meet
+                while node != -1:
+                    path.append(ids[node])
+                    node = parent_f[node]
+                path.reverse()
+                node = parent_b[best_meet]
+                while node != -1:
+                    path.append(ids[node])
+                    node = parent_b[node]
+                return incumbent, path, stats
+            # The hub witness remained unbeaten: materialize it from the
+            # index.
+            assert self._index is not None
+            path = hub_witness_path(self._index, graph, source, target)
+            stats.answered_by_index = True
             return incumbent, path, stats
-        # The hub witness remained unbeaten: materialize it from the index.
-        assert self._index is not None
-        path = hub_witness_path(self._index, graph, source, target)
-        stats.answered_by_index = True
-        return incumbent, path, stats
+        finally:
+            stats.workspace_resets = 1
+            stats.touched_reset = ws.release()
 
     # -- the search -------------------------------------------------------------
 
@@ -957,127 +1056,138 @@ class PairwiseEngine:
                 stats.answered_by_index = True
                 return incumbent, stats
 
-        n = csr.num_vertices
-        g_f = [inf] * n
-        g_b = [inf] * n
-        g_f[s] = 0.0
-        g_b[t] = 0.0
-        settled_f = bytearray(n)
-        settled_b = bytearray(n)
-        heap_f = IndexedHeap()
-        heap_b = IndexedHeap()
-        heap_f.push(s, 0.0)
-        heap_b.push(t, 0.0)
-        indptr_f, indices_f, weights_f = csr.out_lists()
-        indptr_b, indices_b, weights_b = csr.in_lists()
-        use_ub = self._policy.uses_index
-        use_lb = self._policy.uses_lower_bounds
-        if use_lb:
-            # Per-hub rows as flat lists plus the four per-endpoint scalar
-            # columns the prune tests reference.  Probes short-circuit on
-            # the first deciding hub, exactly like the dict path — O(1) for
-            # the overwhelmingly common pruned vertex.
-            rows_f, rows_b = plane.tables.rows_as_lists()
-            hub_range = range(len(rows_f))
-            fwd_t = [row[t] for row in rows_f]   # d(h, t)
-            bwd_t = [row[t] for row in rows_b]   # d(t, h)
-            fwd_s = [row[s] for row in rows_f]   # d(h, s)
-            bwd_s = [row[s] for row in rows_b]   # d(s, h)
-        # With a tolerance, prune/terminate against incumbent/(1+tol): any
-        # path forgone then costs at least that much, so the returned
-        # incumbent is within the requested factor of the optimum.
-        threshold = incumbent if scale == 1.0 else incumbent / scale
-
-        while heap_f and heap_b:
-            if incumbent != inf:
-                key_f, _pf = heap_f.peek()
-                key_b, _pb = heap_b.peek()
-                if g_f[key_f] + g_b[key_b] >= threshold:
-                    break
-            forward = len(heap_f) <= len(heap_b)
-            if forward:
-                heap, g, g_other, settled = heap_f, g_f, g_b, settled_f
-                indptr, indices, weights = indptr_f, indices_f, weights_f
-            else:
-                heap, g, g_other, settled = heap_b, g_b, g_f, settled_b
-                indptr, indices, weights = indptr_b, indices_b, weights_b
-
-            v, _priority = heap.pop()
-            cost_v = g[v]
-            settled[v] = 1
-
-            # Meeting the other search's label yields a real s→t path.
-            other = g_other[v]
-            if other != inf:
-                candidate = cost_v + other
-                if candidate < incumbent:
-                    incumbent = candidate
-                    threshold = incumbent if scale == 1.0 else incumbent / scale
-                    if stop_at_feasible:
-                        break
-
-            if use_ub and incumbent != inf and not cost_v < threshold:
-                stats.pruned_by_upper_bound += 1
-                continue
+        # Validation and index early-outs are all behind us: claim the
+        # workspace last, release it in `finally`, and the state can never
+        # be claimed for a query that raises before searching nor leak from
+        # one that raises mid-search.
+        ws = self._workspace_for(csr.num_vertices)
+        stats.workspace_hits = 1 if ws.acquire(csr.num_vertices) else 0
+        try:
+            g_f = ws.g_f
+            g_b = ws.g_b
+            g_f[s] = 0.0
+            g_b[t] = 0.0
+            settled_f = ws.settled_f
+            settled_b = ws.settled_b
+            heap_f = ws.heap_f
+            heap_b = ws.heap_b
+            heap_f.push(s, 0.0)
+            heap_b.push(t, 0.0)
+            indptr_f, indices_f, weights_f = csr.out_lists()
+            indptr_b, indices_b, weights_b = csr.in_lists()
+            use_ub = self._policy.uses_index
+            use_lb = self._policy.uses_lower_bounds
             if use_lb:
-                need = threshold - cost_v
-                if need <= 0:
-                    stats.pruned_by_lower_bound += 1
-                    continue
-                if need != need:  # nan: both sides infinite
-                    need = inf
-                # The dense-id transliteration of the dict path's
-                # QueryBounds._prunable_distance, per-hub short-circuit
-                # included: prune as soon as one hub's bound on the
-                # remaining distance reaches `need` (or proves the pair
-                # unreachable).
-                prunable = False
+                # Per-hub rows as flat lists plus the four per-endpoint
+                # scalar columns the prune tests reference.  Probes
+                # short-circuit on the first deciding hub, exactly like the
+                # dict path — O(1) for the overwhelmingly common pruned
+                # vertex.  Columns come from the tables' per-epoch LRU.
+                rows_f, rows_b = plane.tables.rows_as_lists()
+                hub_range = range(len(rows_f))
+                fwd_t, bwd_t = plane.tables.columns_for(t)  # d(h,t) / d(t,h)
+                fwd_s, bwd_s = plane.tables.columns_for(s)  # d(h,s) / d(s,h)
+            # With a tolerance, prune/terminate against incumbent/(1+tol):
+            # any path forgone then costs at least that much, so the
+            # returned incumbent is within the requested factor of the
+            # optimum.
+            threshold = incumbent if scale == 1.0 else incumbent / scale
+
+            while heap_f and heap_b:
+                if incumbent != inf:
+                    key_f, _pf = heap_f.peek()
+                    key_b, _pb = heap_b.peek()
+                    if g_f[key_f] + g_b[key_b] >= threshold:
+                        break
+                forward = len(heap_f) <= len(heap_b)
                 if forward:
-                    for j in hub_range:
-                        hv = rows_f[j][v]                  # d(h, v)
-                        if hv != inf:
-                            ht = fwd_t[j]                  # d(h, t)
-                            if ht == inf or ht - hv >= need:
-                                prunable = True
-                                break
-                        th = bwd_t[j]                      # d(t, h)
-                        if th != inf:
-                            vh = rows_b[j][v]              # d(v, h)
-                            if vh == inf or vh - th >= need:
-                                prunable = True
-                                break
+                    heap, g, g_other, settled = heap_f, g_f, g_b, settled_f
+                    indptr, indices, weights = indptr_f, indices_f, weights_f
                 else:
-                    # Bound on d(source, v): roles (source, v) as (v, t).
-                    for j in hub_range:
-                        hv = fwd_s[j]                      # d(h, s)
-                        if hv != inf:
-                            ht = rows_f[j][v]              # d(h, v)
-                            if ht == inf or ht - hv >= need:
-                                prunable = True
-                                break
-                        th = rows_b[j][v]                  # d(v, h)
-                        if th != inf:
-                            vh = bwd_s[j]                  # d(s, h)
-                            if vh == inf or vh - th >= need:
-                                prunable = True
-                                break
-                if prunable:
-                    stats.pruned_by_lower_bound += 1
-                    continue
+                    heap, g, g_other, settled = heap_b, g_b, g_f, settled_b
+                    indptr, indices, weights = indptr_b, indices_b, weights_b
 
-            stats.activations += 1
-            for k in range(indptr[v], indptr[v + 1]):
-                u = indices[k]
-                stats.relaxations += 1
-                if settled[u]:
-                    continue
-                candidate = cost_v + weights[k]
-                if candidate < g[u]:
-                    g[u] = candidate
-                    heap.push(u, candidate)
-                    stats.pushes += 1
+                v, _priority = heap.pop()
+                cost_v = g[v]
+                settled[v] = 1
 
-        return incumbent, stats
+                # Meeting the other search's label yields a real s→t path.
+                other = g_other[v]
+                if other != inf:
+                    candidate = cost_v + other
+                    if candidate < incumbent:
+                        incumbent = candidate
+                        threshold = (
+                            incumbent if scale == 1.0 else incumbent / scale
+                        )
+                        if stop_at_feasible:
+                            break
+
+                if use_ub and incumbent != inf and not cost_v < threshold:
+                    stats.pruned_by_upper_bound += 1
+                    continue
+                if use_lb:
+                    need = threshold - cost_v
+                    if need <= 0:
+                        stats.pruned_by_lower_bound += 1
+                        continue
+                    if need != need:  # nan: both sides infinite
+                        need = inf
+                    # The dense-id transliteration of the dict path's
+                    # QueryBounds._prunable_distance, per-hub short-circuit
+                    # included: prune as soon as one hub's bound on the
+                    # remaining distance reaches `need` (or proves the pair
+                    # unreachable).
+                    prunable = False
+                    if forward:
+                        for j in hub_range:
+                            hv = rows_f[j][v]                  # d(h, v)
+                            if hv != inf:
+                                ht = fwd_t[j]                  # d(h, t)
+                                if ht == inf or ht - hv >= need:
+                                    prunable = True
+                                    break
+                            th = bwd_t[j]                      # d(t, h)
+                            if th != inf:
+                                vh = rows_b[j][v]              # d(v, h)
+                                if vh == inf or vh - th >= need:
+                                    prunable = True
+                                    break
+                    else:
+                        # Bound on d(source, v): roles (source, v) as (v, t).
+                        for j in hub_range:
+                            hv = fwd_s[j]                      # d(h, s)
+                            if hv != inf:
+                                ht = rows_f[j][v]              # d(h, v)
+                                if ht == inf or ht - hv >= need:
+                                    prunable = True
+                                    break
+                            th = rows_b[j][v]                  # d(v, h)
+                            if th != inf:
+                                vh = bwd_s[j]                  # d(s, h)
+                                if vh == inf or vh - th >= need:
+                                    prunable = True
+                                    break
+                    if prunable:
+                        stats.pruned_by_lower_bound += 1
+                        continue
+
+                stats.activations += 1
+                for k in range(indptr[v], indptr[v + 1]):
+                    u = indices[k]
+                    stats.relaxations += 1
+                    if settled[u]:
+                        continue
+                    candidate = cost_v + weights[k]
+                    if candidate < g[u]:
+                        g[u] = candidate
+                        heap.push(u, candidate)
+                        stats.pushes += 1
+
+            return incumbent, stats
+        finally:
+            stats.workspace_resets = 1
+            stats.touched_reset = ws.release()
 
 
 # -- neighborhood expansion (nearest / within) --------------------------------
@@ -1130,24 +1240,48 @@ def expand_from_csr(
     source: int,
     max_results: Optional[int],
     radius: Optional[float],
+    workspace: Optional[SearchWorkspace] = None,
 ) -> list:
     """Dense-plane twin of :func:`expand_from_graph` over CSR arrays.
 
     Search state lives in flat lists indexed by dense id; results are
     translated back to caller-visible vertex ids on append.  ``source`` is
     a caller-visible id and must already be validated against the graph
-    the CSR was built from.
+    the CSR was built from.  Pass a :class:`SearchWorkspace` to run with
+    reused (sparse-reset) state; without one the call allocates fresh O(V)
+    state as before.
     """
-    n = csr.num_vertices
     s = csr.dense_id(source)
     ids = csr.ids
     indptr, indices, weights = csr.out_lists()
-    inf = math.inf
-    g = [inf] * n
-    g[s] = 0.0
+    if workspace is not None:
+        workspace.acquire(csr.num_vertices)
+        try:
+            heap = workspace.heap_f
+            heap.push(s, 0.0)
+            return _expand_csr_loop(
+                workspace.g_f, workspace.settled_f, heap,
+                s, ids, indptr, indices, weights, max_results, radius,
+            )
+        finally:
+            workspace.release()
+    n = csr.num_vertices
+    g = [math.inf] * n
     settled = bytearray(n)
     heap = IndexedHeap()
     heap.push(s, 0.0)
+    return _expand_csr_loop(
+        g, settled, heap, s, ids, indptr, indices, weights,
+        max_results, radius,
+    )
+
+
+def _expand_csr_loop(
+    g, settled, heap, s, ids, indptr, indices, weights,
+    max_results: Optional[int], radius: Optional[float],
+) -> list:
+    """The truncated-Dijkstra loop shared by both state regimes."""
+    g[s] = 0.0
     results: list = []
     while heap:
         v, dist = heap.pop()

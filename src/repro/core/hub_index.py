@@ -19,6 +19,7 @@ from __future__ import annotations
 
 import math
 import sys
+from collections import OrderedDict
 from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
 import numpy as np
@@ -31,6 +32,16 @@ from repro.streaming.incremental_sssp import IncrementalBestPath
 
 #: per-hub frozen cost tables, keyed by hub vertex
 FrozenTables = Dict[int, Mapping]
+
+#: capacity of the per-epoch LRU of extracted hub columns (entries are two
+#: k-length lists each, so even at capacity the cache stays a few megabytes)
+HUB_COLUMN_CACHE = 4096
+
+#: capacity of the per-epoch LRU of residual lower-bound rows (entries are
+#: |V|-length float lists — megabytes each on large planes — so the cap is
+#: deliberately small; it only needs to cover the recurring target set of a
+#: steady one-to-many workload)
+RESIDUAL_ROW_CACHE = 32
 
 
 class HubIndex:
@@ -410,6 +421,12 @@ class DenseHubTables:
         "_B",
         "_Fl",
         "_Bl",
+        "_cols",
+        "column_hits",
+        "column_misses",
+        "_res_rows",
+        "row_hits",
+        "row_misses",
     )
 
     def __init__(
@@ -435,6 +452,12 @@ class DenseHubTables:
         self._B: Optional[np.ndarray] = None
         self._Fl: Optional[List[list]] = None
         self._Bl: Optional[List[list]] = None
+        self._cols: "OrderedDict[int, Tuple[list, list]]" = OrderedDict()
+        self.column_hits = 0
+        self.column_misses = 0
+        self._res_rows: "OrderedDict[int, list]" = OrderedDict()
+        self.row_hits = 0
+        self.row_misses = 0
 
     @classmethod
     def derive(
@@ -591,6 +614,54 @@ class DenseHubTables:
             else:
                 self._Bl = [row.tolist() for row in self.bwd_rows]
         return self._Fl, self._Bl
+
+    def columns_for(self, v: int) -> Tuple[list, list]:
+        """The per-hub ``(forward, backward)`` cost columns at dense id ``v``.
+
+        ``forward[j]`` = cost hub_j → v, ``backward[j]`` = cost v → hub_j —
+        the two k-length scalar columns the dense pairwise search references
+        for each query endpoint.  Extracting them is O(k) per call, which a
+        serving workload repeats endlessly for hot endpoints, so the columns
+        are kept in a small LRU keyed by dense id.  Tables are immutable for
+        the life of an epoch, so entries can never go stale; the cache dies
+        with the tables object on epoch handoff.
+        """
+        cache = self._cols
+        entry = cache.get(v)
+        if entry is not None:
+            cache.move_to_end(v)
+            self.column_hits += 1
+            return entry
+        Fl, Bl = self.rows_as_lists()
+        entry = ([row[v] for row in Fl], [row[v] for row in Bl])
+        cache[v] = entry
+        self.column_misses += 1
+        if len(cache) > HUB_COLUMN_CACHE:
+            cache.popitem(last=False)
+        return entry
+
+    def residual_list_for(self, t: int) -> list:
+        """The residual lower-bound row to ``t``, cached, as a plain list.
+
+        ``result[v]`` bounds ``d(v, t)`` from below — the row the
+        one-to-many search probes once per settled vertex per live target.
+        Materializing it is O(|V|·k) (a numpy pass plus ``tolist``), which
+        dwarfs a pruned search, so rows are kept in a small LRU keyed by
+        target dense id.  Callers must treat the returned list as
+        read-only — it is shared across queries for the life of the epoch.
+        """
+        cache = self._res_rows
+        row = cache.get(t)
+        if row is not None:
+            cache.move_to_end(t)
+            self.row_hits += 1
+            return row
+        row = self.residual_rows_to_target(t).tolist()
+        cache[t] = row
+        self.row_misses += 1
+        if len(cache) > RESIDUAL_ROW_CACHE:
+            cache.popitem(last=False)
+        return row
 
     # -- vectorized bound math (min-plus algebra) ----------------------------
 

@@ -30,6 +30,12 @@ class QueryStats:
     answered_by_index: bool = False
     #: wall-clock seconds for the query (filled by the harness)
     elapsed: float = 0.0
+    #: searches that reused an already-allocated workspace (dense plane only)
+    workspace_hits: int = 0
+    #: workspace sparse-resets performed on behalf of this query
+    workspace_resets: int = 0
+    #: touched entries restored by those sparse resets (the O(touched) cost)
+    touched_reset: int = 0
 
     def merge(self, other: "QueryStats") -> None:
         """Accumulate another query's counters into this one (harness use)."""
@@ -39,6 +45,9 @@ class QueryStats:
         self.pruned_by_lower_bound += other.pruned_by_lower_bound
         self.pruned_by_upper_bound += other.pruned_by_upper_bound
         self.elapsed += other.elapsed
+        self.workspace_hits += other.workspace_hits
+        self.workspace_resets += other.workspace_resets
+        self.touched_reset += other.touched_reset
 
     def activation_fraction(self, num_vertices: int) -> float:
         """Fraction of the graph this query activated."""
@@ -54,6 +63,9 @@ class QueryStats:
             "lb_pruned": self.pruned_by_lower_bound,
             "ub_pruned": self.pruned_by_upper_bound,
             "from_index": self.answered_by_index,
+            "ws_hits": self.workspace_hits,
+            "ws_resets": self.workspace_resets,
+            "ws_touched": self.touched_reset,
         }
 
 

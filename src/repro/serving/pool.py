@@ -69,14 +69,12 @@ def _dispatch(engine, plane, verb: str, payload):
         source, targets = payload
         return engine.one_to_many(source, list(targets))
     if verb in ("nearest", "within"):
-        from repro.core.engine import expand_from_csr
-
         source, arg = payload
-        if source not in plane.csr.dense_map:
-            raise QueryError(f"query endpoint {source} is not in the graph")
         if verb == "nearest":
-            return expand_from_csr(plane.csr, source, arg, None)
-        return expand_from_csr(plane.csr, source, None, arg)
+            return engine.expand(source, arg, None)
+        return engine.expand(source, None, arg)
+    if verb == "workspace_stats":
+        return engine.workspace_stats()
     raise QueryError(f"unknown verb {verb!r}")
 
 
@@ -90,10 +88,15 @@ def _worker_main(worker_id: int, spec, requests, responses,
     the private queues of workers it still believes alive.
     """
     from repro.core.engine import PairwiseEngine
+    from repro.core.workspace import SearchWorkspace
     from repro.serving.codec import PlaneGraph
 
     client = spec.connect(worker_id)
     held: Dict[str, Optional[tuple]] = {"entry": None}
+    # One workspace for the worker's whole life: each epoch's fresh engine
+    # adopts it, so the request loop re-allocates O(V) search state only
+    # when an epoch actually changes the plane's vertex count.
+    workspace = SearchWorkspace()
 
     def detach() -> None:
         entry = held["entry"]
@@ -127,6 +130,7 @@ def _worker_main(worker_id: int, spec, requests, responses,
         plane = lease.plane
         engine = PairwiseEngine(
             PlaneGraph(plane.csr), policy=policy_value, dense=plane,
+            workspace=workspace,
         )
         entry = (lease, engine, plane)
         held["entry"] = entry
@@ -199,8 +203,18 @@ class WorkerPool:
         if not alive:
             raise QueryError("all serving workers are dead")
         target = alive[next(self._rr) % len(alive)]
+        return self.submit_to(target, verb, payload)
+
+    def submit_to(self, worker_id: int, verb: str, payload) -> int:
+        """Enqueue one request on a *specific* worker; returns its id.
+
+        For per-worker introspection verbs (``workspace_stats``) that the
+        round-robin cursor cannot target.  The worker must be alive.
+        """
+        if not self._procs[worker_id].is_alive():
+            raise QueryError(f"serving worker {worker_id} is dead")
         req_id = next(self._ids)
-        self._requests[target].put((req_id, verb, payload))
+        self._requests[worker_id].put((req_id, verb, payload))
         return req_id
 
     def gather(self, req_ids: Sequence[int],
@@ -356,9 +370,12 @@ class ServeSession:
         return self._delta
 
     def stats_row(self) -> Dict[str, object]:
-        """One observability row: transport, fan-out, registry state, and
+        """One observability row: transport, fan-out, registry state,
         payload movement (delta vs full fetches, actual vs all-full bytes
-        — the savings ratio is ``1 - bytes_sent / bytes_full``)."""
+        — the savings ratio is ``1 - bytes_sent / bytes_full``), and the
+        pool's aggregated workspace reuse counters (a healthy steady state
+        shows ``workspace_allocs`` frozen at the epoch-rebind count while
+        ``workspace_resets`` tracks request throughput)."""
         registry = self._transport.registry
         row = {
             "transport": self._transport.kind,
@@ -374,9 +391,45 @@ class ServeSession:
             "full_fetches": 0,
             "bytes_sent": 0,
             "bytes_full": 0,
+            "workspace_allocs": 0,
+            "workspace_hits": 0,
+            "workspace_resets": 0,
+            "touched_reset": 0,
         }
         row.update(self._transport.transfer_stats())
+        for ws_row in self.workspace_stats():
+            for key in ("workspace_allocs", "workspace_hits",
+                        "workspace_resets", "touched_reset"):
+                row[key] += ws_row[key]
         return row
+
+    def workspace_stats(self,
+                        timeout: float = 5.0) -> List[Dict[str, object]]:
+        """Per-worker search-workspace reuse counters.
+
+        One row per alive worker (plus its id and current epoch).  This is
+        the observable form of the zero-O(V)-allocations-per-request
+        guarantee: across any number of requests on a fixed-size plane,
+        ``workspace_allocs`` only moves when an epoch rebind changes the
+        vertex count.  Workers that cannot answer (no published epoch yet,
+        or died mid-probe) are skipped.
+        """
+        rows: List[Dict[str, object]] = []
+        for worker_id in self._pool.alive():
+            try:
+                req_id = self._pool.submit_to(
+                    worker_id, "workspace_stats", None
+                )
+            except QueryError:
+                continue
+            resp = self._pool.gather([req_id], timeout=timeout).get(req_id)
+            if resp is None or not resp.ok:
+                continue
+            ws_row = dict(resp.payload)
+            ws_row["worker"] = worker_id
+            ws_row["epoch"] = resp.epoch
+            rows.append(ws_row)
+        return rows
 
     def __enter__(self) -> "ServeSession":
         return self

@@ -31,10 +31,10 @@ from repro.core.cache import QueryCache
 from repro.core.config import SGraphConfig
 from repro.core.engine import (
     PairwiseEngine,
-    expand_from_csr,
     expand_from_graph,
 )
 from repro.core.hub_index import DensePlane, HubIndex
+from repro.core.workspace import SearchWorkspace
 from repro.core.pairwise import ManyQueryResult, QueryKind, QueryResult
 from repro.core.semiring import (
     BOTTLENECK_CAPACITY,
@@ -99,6 +99,10 @@ class SGraph:
         # that lets each epoch's dense tables derive from the previous one.
         self._dense_serving: Dict[str, Tuple[int, PairwiseEngine]] = {}
         self._dense_planes: Dict[str, DensePlane] = {}
+        # One search workspace per dense-served family, passed into each
+        # epoch's fresh engine: the O(V) search state survives epoch
+        # handoff, so steady-state queries only pay the sparse reset.
+        self._workspaces: Dict[str, SearchWorkspace] = {}
         # backend="auto" crossover state: queries observed since the last
         # mutation, and an EMA of queries-per-update-interval (folded each
         # time the epoch moves; see _auto_fold).
@@ -652,9 +656,9 @@ class SGraph:
         if (backend != "dict" and "distance" in self._config.queries
                 and (backend == "dense" or self._note_query())):
             self._ensure_indexes()
-            plane = self._dense_engine("distance").dense_plane
-            if plane is not None:
-                return expand_from_csr(plane.csr, source, max_results, radius)
+            engine = self._dense_engine("distance")
+            if engine.dense_plane is not None:
+                return engine.expand(source, max_results, radius)
         return expand_from_graph(graph, source, max_results, radius)
 
     # -- dense serving (backend="dense" / "auto") ---------------------------------
@@ -789,11 +793,34 @@ class SGraph:
             prev=self._dense_planes.get(family),
         )
         self._dense_planes[family] = plane
+        workspace = self._workspaces.get(family)
+        if workspace is None:
+            workspace = self._workspaces[family] = SearchWorkspace()
         engine = PairwiseEngine(
-            view_graph, index=frozen, policy=self._config.policy, dense=plane
+            view_graph, index=frozen, policy=self._config.policy, dense=plane,
+            workspace=workspace,
         )
         self._dense_serving[family] = (self.epoch, engine)
         return engine
+
+    def workspace_stats(self, family: str = "distance") -> Dict[str, int]:
+        """Lifetime reuse counters of one family's dense search workspace.
+
+        All zeros until the family has served a dense query.  In steady
+        state ``workspace_allocs`` stays at 1 across epochs (the workspace
+        outlives each per-epoch engine) while ``workspace_hits`` /
+        ``workspace_resets`` count reused searches.
+        """
+        workspace = self._workspaces.get(family)
+        if workspace is None:
+            return {
+                "workspace_vertices": 0,
+                "workspace_allocs": 0,
+                "workspace_hits": 0,
+                "workspace_resets": 0,
+                "touched_reset": 0,
+            }
+        return workspace.stats_row()
 
     def _run(
         self,

@@ -30,7 +30,6 @@ from typing import Callable, Dict, Iterable, List, Optional, Tuple
 
 from repro.core.engine import (
     PairwiseEngine,
-    expand_from_csr,
     expand_from_graph,
 )
 from repro.core.hub_index import DensePlane, HubIndex
@@ -206,7 +205,8 @@ class FrozenView:
             raise QueryError(f"query endpoint {source} is not in the graph")
         plane = engine.dense_plane  # forces the lazy factory, once per view
         if plane is not None:
-            return expand_from_csr(plane.csr, source, max_results, radius)
+            # Runs in the view engine's reusable workspace (O(touched)).
+            return engine.expand(source, max_results, radius)
         return expand_from_graph(self._snapshot, source, max_results, radius)
 
 

@@ -102,6 +102,15 @@ class IndexedHeap:
         return True
 
     def clear(self) -> None:
+        """Empty the heap in place, retaining the backing containers.
+
+        The backing list and position dict are cleared, never replaced, so
+        external references to the heap stay valid and a cleared heap can be
+        refilled immediately — this is what lets a
+        :class:`~repro.core.workspace.SearchWorkspace` keep two heaps alive
+        across thousands of queries without per-query container churn.
+        Cost is O(current size), independent of historical peak size.
+        """
         self._heap.clear()
         self._pos.clear()
 

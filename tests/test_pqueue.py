@@ -97,6 +97,43 @@ class TestBasics:
         h.push(1, 1.0)
         assert h.pop() == (1, 1.0)
 
+    def test_clear_retains_backing_storage(self):
+        """clear() empties in place — the backing list and position dict
+        survive, so a reused heap never re-allocates its storage."""
+        h = IndexedHeap()
+        backing_heap, backing_pos = h._heap, h._pos
+        for i in range(100):
+            h.push(i, float(i))
+        h.clear()
+        assert not h
+        assert h._heap is backing_heap
+        assert h._pos is backing_pos
+        for round_ in range(3):
+            for i in range(50):
+                h.push(i, float((i * 7 + round_) % 50))
+            drained = [h.pop()[1] for _ in range(len(h))]
+            assert drained == sorted(drained)
+            h.clear()
+            assert h._heap is backing_heap and h._pos is backing_pos
+
+    def test_clear_after_partial_drain(self):
+        """clear() mid-drain leaves a fully consistent empty heap: stale
+        positions are gone and every key can be re-pushed as new."""
+        h = IndexedHeap()
+        for i in range(20):
+            h.push(i, float(i))
+        for _ in range(7):  # partial drain, then abandon the search
+            h.pop()
+        h.remove(15)
+        h.clear()
+        assert len(h) == 0
+        assert 3 not in h and 15 not in h
+        assert h.priority(8) is None
+        # Every key — popped, removed, or abandoned — re-inserts as new.
+        for i in range(20):
+            assert h.push(i, float(20 - i))
+        assert [h.pop()[0] for _ in range(20)] == list(range(19, -1, -1))
+
     def test_iter_yields_all(self):
         h = IndexedHeap()
         for i in range(6):

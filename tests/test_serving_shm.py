@@ -202,6 +202,46 @@ class TestServeSessionParity:
         with pytest.raises(ConfigError):
             sg.serve(workers=1, chunk=0)
 
+    def test_workspace_reuse_counters_steady_state(self):
+        """Zero O(V) allocations per request: after warm-up, every worker's
+        ``workspace_allocs`` is frozen while hits/resets track throughput —
+        and a same-|V| epoch handoff does not move it either."""
+        sg = _sgraph(26)
+        rng = random.Random(11)
+        verts = sorted(sg.graph.vertices())
+        with sg.serve(workers=2) as session:
+            pairs = [tuple(rng.sample(verts, 2)) for _ in range(40)]
+            session.map_distance(pairs)
+            session.distance_many(0, list(range(1, 25)))
+            session.nearest(0, 5)
+            rows = {r["worker"]: r for r in session.workspace_stats()}
+            assert len(rows) == 2
+            for row in rows.values():
+                assert row["workspace_allocs"] == 1
+                # every acquire after a worker's first was a reuse hit
+                assert row["workspace_hits"] == row["workspace_resets"] - 1
+                assert row["workspace_resets"] >= 1
+                assert row["touched_reset"] >= 1
+            # the session row aggregates the same counters
+            agg = session.stats_row()
+            assert agg["workspace_allocs"] == 2
+            assert agg["workspace_resets"] == sum(
+                r["workspace_resets"] for r in rows.values()
+            )
+
+            # same-|V| epoch handoff: workers rebind engines, not arrays
+            sg.add_edge(verts[0], verts[50], 0.2)
+            view = session.publish()
+            for _ in range(20):
+                s, t = rng.sample(verts, 2)
+                _value, _stats, epoch = session.distance(s, t)
+            after = {r["worker"]: r for r in session.workspace_stats()}
+            for worker_id, row in after.items():
+                assert row["workspace_allocs"] == 1, row
+                assert (row["workspace_resets"]
+                        >= rows[worker_id]["workspace_resets"])
+            assert any(r["epoch"] == view.epoch for r in after.values())
+
     def test_unreachable_and_bad_endpoint(self):
         sg = _sgraph(23)
         with sg.serve(workers=1) as session:

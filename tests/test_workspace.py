@@ -1,0 +1,366 @@
+"""Epoch-scoped search workspaces: sparse reset, reuse, failure isolation.
+
+Three contracts under test.  :class:`JournaledHeap` journals exactly the
+first insertion of every key, so the journal enumerates the touched
+workspace entries.  :class:`SearchWorkspace` restores pristine state in
+O(touched) after every verb — including verbs that raise mid-search —
+which the O(V) ``is_clean()`` audit checks directly.  And the engine
+binds one workspace per plane, so steady-state queries perform zero O(V)
+allocations while answering bit-identically to a fresh-state engine.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+import repro.core.hub_index as hub_index_mod
+from repro.core.config import SGraphConfig
+from repro.core.engine import PairwiseEngine
+from repro.core.pruning import PruningPolicy
+from repro.core.workspace import JournaledHeap, SearchWorkspace
+from repro.errors import ConfigError, QueryError
+from repro.graph.dynamic_graph import DynamicGraph
+from repro.sgraph import SGraph
+from repro.utils.pqueue import IndexedHeap
+
+POLICIES = [
+    PruningPolicy.NONE,
+    PruningPolicy.UPPER_ONLY,
+    PruningPolicy.UPPER_AND_LOWER,
+]
+
+
+def _random_graph(seed: int, directed: bool = False, n: int = 70,
+                  m: int = 200) -> DynamicGraph:
+    rng = random.Random(seed)
+    g = DynamicGraph(directed=directed)
+    for v in range(n):
+        g.add_vertex(v)
+    added = 0
+    while added < m:
+        u, v = rng.randrange(n - 3), rng.randrange(n - 3)
+        if u == v or g.has_edge(u, v):
+            continue
+        g.add_edge(u, v, rng.uniform(0.5, 3.0))
+        added += 1
+    return g
+
+
+def _dense_engine(seed: int, policy: PruningPolicy,
+                  workspace: SearchWorkspace = None,
+                  reuse_workspace: bool = True):
+    """A dense-served engine (and its plane) over a random graph."""
+    sg = SGraph(graph=_random_graph(seed), config=SGraphConfig(
+        num_hubs=6, policy=policy, queries=("distance",), backend="dense",
+    ))
+    sg._ensure_indexes()
+    base = sg._dense_engine("distance")
+    plane = base.dense_plane
+    engine = PairwiseEngine(
+        base._graph, index=base.index, policy=policy, dense=plane,
+        workspace=workspace, reuse_workspace=reuse_workspace,
+    )
+    return engine, plane
+
+
+def _stats_tuple(stats):
+    return (
+        stats.activations,
+        stats.pushes,
+        stats.relaxations,
+        stats.pruned_by_upper_bound,
+        stats.pruned_by_lower_bound,
+        stats.answered_by_index,
+    )
+
+
+class TestJournaledHeap:
+    def test_journal_records_first_insertion_once(self):
+        h = JournaledHeap()
+        h.push(3, 5.0)
+        h.push(3, 1.0)   # decrease-key: no second journal entry
+        h.push(3, 9.0)   # ignored increase: no entry either
+        h.push(8, 2.0)
+        assert h.journal == [3, 8]
+
+    def test_journal_survives_pop_and_remove(self):
+        h = JournaledHeap()
+        for i in range(5):
+            h.push(i, float(i))
+        h.pop()
+        h.remove(3)
+        assert h.journal == [0, 1, 2, 3, 4]
+
+    def test_clear_empties_journal(self):
+        h = JournaledHeap()
+        h.push(1, 1.0)
+        h.clear()
+        assert h.journal == []
+        assert not h
+        h.push(1, 2.0)
+        assert h.journal == [1]  # re-insertion after clear is "first" again
+
+    @given(
+        st.lists(
+            st.tuples(st.integers(0, 30), st.floats(0, 100, allow_nan=False)),
+            max_size=200,
+        )
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_heap_semantics_identical_to_indexed_heap(self, ops):
+        """Journaling must not perturb heap behavior in any way."""
+        j, plain = JournaledHeap(), IndexedHeap()
+        first_seen = []
+        seen = set()
+        for key, pri in ops:
+            assert j.push(key, pri) == plain.push(key, pri)
+            if key not in seen:
+                seen.add(key)
+                first_seen.append(key)
+        assert j.journal == first_seen
+        while plain:
+            assert j.pop() == plain.pop()
+        assert not j
+
+
+class TestSearchWorkspace:
+    def test_first_acquire_is_not_a_hit(self):
+        ws = SearchWorkspace()
+        assert ws.acquire(10) is False
+        ws.release()
+        assert ws.acquire(10) is True
+        ws.release()
+        assert ws.allocations == 1
+        assert ws.hits == 1
+        assert ws.resets == 2
+
+    def test_resize_reallocates_once(self):
+        ws = SearchWorkspace(10)
+        assert ws.acquire(10) is False
+        ws.release()
+        assert ws.acquire(25) is False   # plane grew: rebuild
+        ws.release()
+        assert ws.acquire(25) is True    # same size: reuse
+        ws.release()
+        assert ws.allocations == 2
+        assert len(ws.g_f) == 25 and len(ws.settled_b) == 25
+
+    def test_release_resets_exactly_the_touched_entries(self):
+        ws = SearchWorkspace(100)
+        ws.acquire(100)
+        for v in (3, 17, 42):
+            ws.heap_f.push(v, float(v))
+            ws.g_f[v] = float(v)
+            ws.settled_f[v] = 1
+        ws.heap_b.push(99, 0.5)
+        ws.g_b[99] = 0.5
+        touched = ws.release()
+        assert touched == 4
+        assert ws.touched_reset == 4
+        assert ws.is_clean()
+
+    def test_release_covers_lazy_parent_and_slot_arrays(self):
+        ws = SearchWorkspace(50)
+        ws.acquire(50)
+        ws.ensure_parents()
+        slot = ws.ensure_slot()
+        ws.heap_f.push(7, 1.0)
+        ws.g_f[7] = 1.0
+        ws.parent_f[7] = 3
+        slot[7] = 0
+        ws.release()
+        slot[7] = -1  # the verb resets slot itself (journal doesn't cover it)
+        assert ws.is_clean()
+        # lazy arrays persist across acquires — allocated once
+        assert ws.parent_f is not None and ws.slot is not None
+        ws.acquire(50)
+        assert ws.parent_f is not None
+        ws.release()
+
+    def test_stats_row_shape(self):
+        ws = SearchWorkspace(5)
+        row = ws.stats_row()
+        assert row == {
+            "workspace_vertices": 5,
+            "workspace_allocs": 1,
+            "workspace_hits": 0,
+            "workspace_resets": 0,
+            "touched_reset": 0,
+        }
+
+
+class TestEngineSteadyState:
+    @pytest.mark.parametrize("policy", POLICIES)
+    def test_one_allocation_many_queries(self, policy):
+        engine, plane = _dense_engine(40, policy)
+        rng = random.Random(7)
+        n = 60
+        for _ in range(30):
+            s, t = rng.randrange(n), rng.randrange(n)
+            engine.best_cost(s, t)
+        row = engine.workspace_stats()
+        assert row["workspace_allocs"] == 1
+        # every acquire after the first was a reuse hit, and every search
+        # that acquired also released
+        assert row["workspace_hits"] == row["workspace_resets"] - 1
+        assert engine.workspace.is_clean()
+
+    def test_all_verbs_share_one_workspace(self):
+        engine, plane = _dense_engine(41, PruningPolicy.UPPER_AND_LOWER)
+        engine.best_cost(0, 33)
+        engine.one_to_many(0, list(range(1, 20)))
+        engine.best_path(2, 44)
+        engine.expand(0, 5, None)
+        engine.expand(0, None, 2.5)
+        row = engine.workspace_stats()
+        assert row["workspace_allocs"] == 1
+        assert engine.workspace.is_clean()
+
+    def test_reuse_disabled_never_binds(self):
+        engine, _plane = _dense_engine(42, PruningPolicy.NONE,
+                                       reuse_workspace=False)
+        engine.best_cost(0, 33)
+        engine.best_cost(0, 33)
+        assert engine.workspace is None
+        assert engine.workspace_stats()["workspace_allocs"] == 0
+
+
+class TestFailureIsolation:
+    """Satellite: a failed verb can never poison the next query."""
+
+    def test_validation_happens_before_acquire(self):
+        engine, _plane = _dense_engine(43, PruningPolicy.UPPER_AND_LOWER)
+        engine.best_cost(0, 33)  # bind the workspace
+        before = dict(engine.workspace_stats())
+        with pytest.raises(QueryError):
+            engine.best_cost(0, 10_000)       # absent endpoint
+        with pytest.raises(ConfigError):
+            engine.best_cost(0, 33, tolerance=-0.5)
+        with pytest.raises(QueryError):
+            engine.one_to_many(0, [1, 10_000])
+        with pytest.raises(QueryError):
+            engine.expand(10_000, 5, None)
+        # none of the rejected calls acquired (or reset) the workspace
+        assert dict(engine.workspace_stats()) == before
+        assert engine.workspace.is_clean()
+
+    @pytest.mark.parametrize("policy", POLICIES)
+    def test_exception_mid_search_leaves_next_query_bit_identical(
+        self, monkeypatch, policy
+    ):
+        engine, _plane = _dense_engine(44, policy)
+        # Find a pair the index cannot close, so the search actually pops.
+        probe_rng = random.Random(3)
+        while True:
+            ps, pt = probe_rng.randrange(60), probe_rng.randrange(60)
+            if ps == pt:
+                continue
+            _value, probe_stats = engine.best_cost(ps, pt)
+            if probe_stats.activations >= 4:
+                break
+        victim = engine.workspace.heap_f
+        state = {"pops": 0}
+        orig_pop = JournaledHeap.pop
+
+        def exploding_pop(self):
+            if self is victim:
+                state["pops"] += 1
+                if state["pops"] > 2:
+                    raise RuntimeError("injected mid-search failure")
+            return orig_pop(self)
+
+        monkeypatch.setattr(JournaledHeap, "pop", exploding_pop)
+        with pytest.raises(RuntimeError, match="injected"):
+            engine.best_cost(ps, pt)
+        monkeypatch.setattr(JournaledHeap, "pop", orig_pop)
+
+        assert not engine.workspace.in_use
+        assert engine.workspace.is_clean()
+        fresh, _ = _dense_engine(44, policy)
+        for s, t in [(ps, pt), (1, 50), (5, 60), (12, 3)]:
+            value, stats = engine.best_cost(s, t)
+            ref_value, ref_stats = fresh.best_cost(s, t)
+            assert value == ref_value
+            assert _stats_tuple(stats) == _stats_tuple(ref_stats)
+
+    def test_exception_mid_one_to_many_resets_slot_map(self, monkeypatch):
+        engine, _plane = _dense_engine(45, PruningPolicy.NONE)
+        targets = list(range(1, 25))
+        engine.one_to_many(0, targets)  # bind + allocate the slot map
+        victim = engine.workspace.heap_f
+        state = {"pops": 0}
+        orig_pop = JournaledHeap.pop
+
+        def exploding_pop(self):
+            if self is victim:
+                state["pops"] += 1
+                if state["pops"] > 2:
+                    raise RuntimeError("injected mid-batch failure")
+            return orig_pop(self)
+
+        monkeypatch.setattr(JournaledHeap, "pop", exploding_pop)
+        with pytest.raises(RuntimeError, match="injected"):
+            engine.one_to_many(0, targets)
+        monkeypatch.setattr(JournaledHeap, "pop", orig_pop)
+
+        assert engine.workspace.is_clean()  # covers the slot map too
+        fresh, _ = _dense_engine(45, PruningPolicy.NONE)
+        values, stats = engine.one_to_many(0, targets)
+        ref_values, ref_stats = fresh.one_to_many(0, targets)
+        assert values == ref_values
+        assert _stats_tuple(stats) == _stats_tuple(ref_stats)
+
+
+class TestHubTableCaches:
+    """Per-epoch LRUs on DenseHubTables: columns and residual rows."""
+
+    def _tables(self, seed: int = 46):
+        _engine, plane = _dense_engine(seed, PruningPolicy.UPPER_AND_LOWER)
+        return plane.tables
+
+    def test_columns_match_direct_extraction(self):
+        tables = self._tables()
+        Fl, Bl = tables.rows_as_lists()
+        for v in (0, 7, 33, 7):  # 7 twice: second read is a cache hit
+            fwd, bwd = tables.columns_for(v)
+            assert fwd == [row[v] for row in Fl]
+            assert bwd == [row[v] for row in Bl]
+        assert tables.column_hits == 1
+        assert tables.column_misses == 3
+        assert tables.columns_for(7) is tables.columns_for(7)
+
+    def test_column_cache_evicts_lru(self, monkeypatch):
+        monkeypatch.setattr(hub_index_mod, "HUB_COLUMN_CACHE", 2)
+        tables = self._tables()
+        tables.columns_for(0)
+        tables.columns_for(1)
+        tables.columns_for(2)       # evicts 0
+        assert 0 not in tables._cols
+        tables.columns_for(0)       # miss again
+        assert tables.column_misses == 4
+
+    def test_residual_rows_match_uncached_reference(self):
+        tables = self._tables()
+        for t in (3, 12, 3):
+            row = tables.residual_list_for(t)
+            assert row == tables.residual_rows_to_target(t).tolist()
+        assert tables.row_hits == 1
+        assert tables.row_misses == 2
+        # and the batched matrix pass agrees row-for-row (bit-identity of
+        # the one-to-many prune inputs regardless of which path built them)
+        batched = tables.residual_rows_to_targets([3, 12]).tolist()
+        assert batched[0] == tables.residual_list_for(3)
+        assert batched[1] == tables.residual_list_for(12)
+
+    def test_residual_row_cache_evicts_lru(self, monkeypatch):
+        monkeypatch.setattr(hub_index_mod, "RESIDUAL_ROW_CACHE", 2)
+        tables = self._tables()
+        tables.residual_list_for(0)
+        tables.residual_list_for(1)
+        tables.residual_list_for(2)
+        assert 0 not in tables._res_rows
+        assert set(tables._res_rows) == {1, 2}
