@@ -12,7 +12,17 @@ only re-measure the same loops).
 
 from __future__ import annotations
 
+import pytest
+
 from repro.bench.capture import drain_tables, record_table
+
+
+def pytest_collection_modifyitems(items):
+    # Experiment generators legitimately run for minutes; widen the
+    # tier-1 --timeout=120 hang guard rather than opting benchmarks out.
+    for item in items:
+        if item.get_closest_marker("timeout") is None:
+            item.add_marker(pytest.mark.timeout(900))
 
 
 def run_rows(benchmark, fn, title, **kwargs):

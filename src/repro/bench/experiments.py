@@ -1603,6 +1603,161 @@ def run_e24_workspace(
     return rows
 
 
+def run_e25_fault_tolerance(
+    epochs: Optional[int] = None, queries: Optional[int] = None
+) -> List[Row]:
+    """Serving correctness under deterministic fault injection.
+
+    Two legs, each comparing a disrupted deployment against an untouched
+    one on the *same* published planes — so parity is bit-identity
+    (values and the :func:`_e24_stats_key` search counters), not
+    tolerance:
+
+    * ``churn`` (TCP) — a seeded :class:`FaultPolicy` (two connection
+      drops, two mid-frame truncations, two payload corruptions, one
+      latency spike) sits on a :class:`FaultProxy` between a retrying
+      :class:`NetReader` and the server; a clean reader dials direct.
+      Every epoch of a churn workload is answered by both and compared.
+      The ``summary`` row carries the faulted reader's counters: each
+      disruptive fault costs exactly one retry (``retries ==
+      disruptions``), corruptions are caught by the frame digest
+      (``corrupt_frames``), drops/truncations surface as peer-closed
+      reconnects, and nothing times out or goes stale.
+    * ``respawn`` (shm) — a two-worker pool answers a baseline, one
+      worker is SIGKILLed, and the same queries are re-asked: lost
+      requests are resubmitted around the corpse while the reap
+      respawns it, so every answer still matches and the pool is back
+      to full strength (``respawns >= 1``, all workers alive).
+
+    Latency columns report the per-query median — the faulted median
+    stays near the clean one because only the faulted *connections* pay
+    the backoff, not every query.  ``REPRO_E25_EPOCHS`` /
+    ``REPRO_E25_QUERIES`` cap the workload for CI smoke runs.
+    """
+    from repro.serving import shm_available
+    from repro.serving.faults import FaultPolicy, FaultProxy
+    from repro.serving.net import NetReader, net_available
+
+    if epochs is None:
+        env = os.environ.get("REPRO_E25_EPOCHS", "")
+        epochs = int(env) if env.strip() else 3
+    if queries is None:
+        env = os.environ.get("REPRO_E25_QUERIES", "")
+        queries = int(env) if env.strip() else 16
+
+    def median_ms(samples: List[float]) -> float:
+        samples = sorted(samples)
+        return round(1e3 * samples[len(samples) // 2], 3)
+
+    rows: List[Row] = []
+
+    # -- churn through the fault proxy (TCP) -----------------------------
+    if net_available():
+        sg = SGraph(graph=load_dataset("road-grid"), config=SGraphConfig(
+            num_hubs=16, hub_strategy=_strategy_for("road-grid"),
+            queries=("distance",),
+        ))
+        verts = sorted(sg.graph.vertices())
+        rng = random.Random(25)
+        policy = FaultPolicy(seed=42, drops=2, truncations=2,
+                             corruptions=2, delays=1, delay_s=0.05)
+        session = sg.serve(workers=1, transport="tcp")
+        try:
+            server = session.transport.server
+            proxy = FaultProxy(server.host, server.port, policy)
+            faulted = NetReader(proxy.address, retry=6, backoff=0.01,
+                                max_backoff=0.05)
+            clean = NetReader(server.address)
+            try:
+                for epoch_no in range(epochs):
+                    if epoch_no:
+                        u, v = rng.sample(verts[:50], 2)
+                        sg.add_edge(u, v, rng.uniform(0.1, 0.4))
+                        session.publish()
+                    pairs = [tuple(rng.sample(verts, 2))
+                             for _ in range(queries)]
+                    matched = 0
+                    f_samples: List[float] = []
+                    c_samples: List[float] = []
+                    for s, t in pairs:
+                        start = time.perf_counter()
+                        fv, fstats, fepoch = faulted.distance(s, t)
+                        f_samples.append(time.perf_counter() - start)
+                        start = time.perf_counter()
+                        cv, cstats, cepoch = clean.distance(s, t)
+                        c_samples.append(time.perf_counter() - start)
+                        if (fv == cv and fepoch == cepoch
+                                and _e24_stats_key(fstats)
+                                == _e24_stats_key(cstats)):
+                            matched += 1
+                    rows.append({
+                        "mode": "churn", "epoch": epoch_no + 1,
+                        "queries": queries,
+                        "parity": f"{matched}/{queries}",
+                        "clean_ms": median_ms(c_samples),
+                        "faulted_ms": median_ms(f_samples),
+                    })
+                transfer = faulted.transfer_stats()
+                injected = policy.injected
+                rows.append({
+                    "mode": "summary", "epoch": epochs,
+                    "scheduled": sum(policy.scheduled().values()),
+                    "injected": sum(injected.values()),
+                    "inj_closed": injected["drop"] + injected["truncate"],
+                    "inj_corrupt": injected["corrupt"],
+                    "disruptions": policy.disruptions(),
+                    "retries": transfer["retries"],
+                    "reconnects": transfer["reconnects"],
+                    "peer_closed": transfer["peer_closed"],
+                    "corrupt_frames": transfer["corrupt_frames"],
+                    "deadline_exceeded": transfer["deadline_exceeded"],
+                    "stale_serves": transfer["stale_serves"],
+                })
+            finally:
+                faulted.close()
+                clean.close()
+                proxy.close()
+        finally:
+            session.close()
+    else:  # pragma: no cover - socketless sandboxes only
+        rows.append({"mode": "churn-unavailable"})
+
+    # -- worker SIGKILL + respawn (shm) ----------------------------------
+    if shm_available():
+        sg = SGraph(graph=load_dataset("road-grid"), config=SGraphConfig(
+            num_hubs=16, hub_strategy=_strategy_for("road-grid"),
+            queries=("distance",),
+        ))
+        verts = sorted(sg.graph.vertices())
+        rng = random.Random(26)
+        pairs = [tuple(rng.sample(verts, 2)) for _ in range(queries)]
+        with sg.serve(workers=2) as session:
+            baseline = [session.distance(s, t) for s, t in pairs]
+            session.pool.kill_worker(0)
+            matched = 0
+            samples: List[float] = []
+            for (s, t), want in zip(pairs, baseline):
+                start = time.perf_counter()
+                value, stats, epoch = session.distance(s, t)
+                samples.append(time.perf_counter() - start)
+                if (value == want[0] and epoch == want[2]
+                        and _e24_stats_key(stats)
+                        == _e24_stats_key(want[1])):
+                    matched += 1
+            rows.append({
+                "mode": "respawn", "queries": queries,
+                "parity": f"{matched}/{queries}",
+                "post_kill_ms": median_ms(samples),
+                "respawns": session.pool.respawns,
+                "alive": len(session.pool.alive()),
+                "workers": session.workers,
+                "breaker_open": session.pool.breaker.open,
+            })
+    else:  # pragma: no cover - no POSIX shm only
+        rows.append({"mode": "respawn-unavailable"})
+    return rows
+
+
 # ---------------------------------------------------------------------------
 
 ALL_EXPERIMENTS: Dict[str, Callable[[], List[Row]]] = {
@@ -1630,6 +1785,7 @@ ALL_EXPERIMENTS: Dict[str, Callable[[], List[Row]]] = {
     "E22 net serving": run_e22_net_serving,
     "E23 delta sync": run_e23_delta_sync,
     "E24 workspace reuse": run_e24_workspace,
+    "E25 fault tolerance": run_e25_fault_tolerance,
 }
 
 

@@ -217,7 +217,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     options = {}
     if args.transport == "tcp":
         options = {"host": args.host, "port": args.port,
-                   "cache_planes": args.cache_planes}
+                   "cache_planes": args.cache_planes,
+                   "retry": args.retry, "max_backoff": args.max_backoff}
     with sg.serve(workers=args.workers, transport=args.transport,
                   chunk=args.chunk, delta=args.delta, **options) as session:
         prefix = session.prefix
@@ -262,7 +263,9 @@ def _cmd_attach(args: argparse.Namespace) -> int:
 
     try:
         with NetReader(args.address, cache_planes=args.cache_planes,
-                       delta=args.delta) as reader:
+                       delta=args.delta, retry=args.retry,
+                       max_backoff=args.max_backoff,
+                       degrade=args.stale_ok) as reader:
             epoch = reader.refresh()
             if epoch is None:
                 print(f"attached to {args.address}: nothing published yet",
@@ -280,9 +283,11 @@ def _cmd_attach(args: argparse.Namespace) -> int:
                     _value, stats, epoch = reader.distance(s, t)
                     hits += stats.answered_by_index
                 elapsed = time.perf_counter() - start
+                marker = " [stale]" if reader.stale else ""
                 print(f"  round {round_no}: {args.queries} queries in "
                       f"{1e3 * elapsed:.1f} ms "
-                      f"({args.queries / elapsed:.0f} q/s) @ epoch {epoch}, "
+                      f"({args.queries / elapsed:.0f} q/s) "
+                      f"@ epoch {epoch}{marker}, "
                       f"{hits} from index")
                 time.sleep(args.pause)
             if args.delta:
@@ -422,6 +427,12 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--delta", action="store_true",
                        help="tcp only: ship chunk-addressed deltas to "
                             "readers that hold a cached base plane")
+    serve.add_argument("--retry", type=int, default=4,
+                       help="tcp only: reconnect attempts per reader op "
+                            "before giving up")
+    serve.add_argument("--max-backoff", type=float, default=2.0,
+                       help="tcp only: reconnect backoff ceiling in "
+                            "seconds (exponential, jittered)")
     serve.add_argument("--port", type=int, default=0,
                        help="bind port for --transport tcp (0 = ephemeral)")
     serve.set_defaults(fn=_cmd_serve)
@@ -441,13 +452,22 @@ def build_parser() -> argparse.ArgumentParser:
     attach.add_argument("--delta", action="store_true",
                         help="fetch chunk-addressed deltas against the "
                              "cached base plane instead of full payloads")
+    attach.add_argument("--retry", type=int, default=4,
+                        help="reconnect attempts per op before giving up")
+    attach.add_argument("--max-backoff", type=float, default=2.0,
+                        help="reconnect backoff ceiling in seconds "
+                             "(exponential, jittered)")
+    attach.add_argument("--stale-ok", action="store_true",
+                        help="keep answering from the last-acquired plane "
+                             "(marked [stale]) when the server is "
+                             "unreachable, instead of exiting")
     attach.add_argument("--cache-planes", type=int, default=4,
                         help="decoded planes kept in the local LRU cache")
     attach.set_defaults(fn=_cmd_attach)
 
     experiment = sub.add_parser("experiment",
                                 help="regenerate an experiment table")
-    experiment.add_argument("id", help="e1..e24, or 'all'")
+    experiment.add_argument("id", help="e1..e25, or 'all'")
     experiment.add_argument("--backend", default="auto",
                             choices=["auto", "dense", "dict"],
                             help="serving plane for backend-aware experiments")

@@ -49,6 +49,35 @@ class QueryError(ReproError):
     """A pairwise query was malformed or issued against the wrong engine."""
 
 
+class PeerClosedError(QueryError):
+    """The remote endpoint closed the connection mid-operation.
+
+    Raised by the TCP serving transport when a recv sees EOF (or a short
+    read) inside a frame: the peer went away, so the operation *may*
+    succeed against a reconnected (possibly restarted) server — the
+    retry layer treats it as transient.
+    """
+
+
+class DeadlineExceededError(QueryError):
+    """An operation ran out of its per-op time budget.
+
+    Raised by the TCP serving transport when an operation (including all
+    its reconnect attempts and backoff sleeps) would exceed its deadline.
+    Unlike :class:`PeerClosedError` this is terminal for the op: retrying
+    further would only hang the caller past its budget.
+    """
+
+
+class CorruptFrameError(QueryError):
+    """A received frame failed its integrity check (digest or header).
+
+    The payload that arrived is not the payload that was sent — a
+    transport-level corruption.  The retry layer treats it as transient:
+    a reconnect and refetch normally yields a clean frame.
+    """
+
+
 class ConfigError(ReproError):
     """An engine or harness configuration value is out of range."""
 

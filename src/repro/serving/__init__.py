@@ -29,8 +29,21 @@ publishing.  Three layers:
 :class:`ServeSession` fan requests across reader processes generically
 over the transport, surfaced as ``SGraph.serve(workers=N, transport=...)``
 and the ``repro serve`` / ``repro attach`` CLI subcommands.
+
+:mod:`repro.serving.faults` is the fault-tolerance substrate: the
+deterministic :class:`~repro.serving.faults.FaultPolicy` /
+:class:`~repro.serving.faults.FaultProxy` injection harness the retry
+paths are tested against, plus the :class:`~repro.serving.faults.Backoff`
+and :class:`~repro.serving.faults.RespawnBreaker` primitives the client
+reconnect and worker-respawn layers share.
 """
 
+from repro.serving.faults import (
+    Backoff,
+    FaultPolicy,
+    FaultProxy,
+    RespawnBreaker,
+)
 from repro.serving.codec import (
     CHUNK_BYTES,
     PlaneGraph,
@@ -57,10 +70,14 @@ from repro.serving.transport import (
 )
 
 __all__ = [
+    "Backoff",
     "CHUNK_BYTES",
     "EpochBoard",
     "EpochRegistry",
+    "FaultPolicy",
+    "FaultProxy",
     "LocalRegistry",
+    "RespawnBreaker",
     "PlaneGraph",
     "PlaneTransport",
     "ServeSession",

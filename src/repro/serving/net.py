@@ -40,13 +40,23 @@ raw frame carrying the encoded plane (or delta frame).  Ops: ``hello``,
 from __future__ import annotations
 
 import json
+import os
+import random
 import socket
 import struct
 import threading
+import time
 from collections import OrderedDict
-from typing import Dict, List, Optional, Tuple
+from typing import Callable, Dict, List, Optional, Tuple
 
-from repro.errors import ConfigError, QueryError
+from repro.errors import (
+    ConfigError,
+    CorruptFrameError,
+    DeadlineExceededError,
+    PeerClosedError,
+    QueryError,
+)
+from repro.serving.faults import Backoff
 from repro.serving.codec import (
     PlaneGraph,
     apply_plane_delta,
@@ -70,6 +80,22 @@ _LEN = struct.Struct(">Q")
 #: planes a reader keeps decoded locally; re-acquiring a cached digest
 #: costs one control round-trip and zero payload bytes.
 DEFAULT_CACHE_PLANES = 4
+
+#: reconnect attempts per op before the client gives up (the op's
+#: deadline can cut retries shorter; see DEFAULT_OP_TIMEOUT)
+DEFAULT_RETRY = 4
+
+#: initial / maximum reconnect backoff in seconds (exponential, jittered)
+DEFAULT_BACKOFF = 0.05
+DEFAULT_MAX_BACKOFF = 2.0
+
+#: per-op deadline in seconds: no client op — including every reconnect
+#: attempt and backoff sleep inside it — may run longer than this
+DEFAULT_OP_TIMEOUT = 30.0
+
+#: a frame length beyond this is treated as stream corruption rather
+#: than waited out (a flipped bit in a length prefix reads as exabytes)
+_MAX_FRAME = 1 << 34
 
 
 def net_available() -> bool:
@@ -141,11 +167,21 @@ class PlaneServer:
 
     def __init__(self, host: str = "127.0.0.1", port: int = 0,
                  num_slots: int = DEFAULT_SLOTS,
-                 cache_planes: int = DEFAULT_CACHE_PLANES) -> None:
+                 cache_planes: int = DEFAULT_CACHE_PLANES,
+                 generation_base: int = 0,
+                 idle_timeout: Optional[float] = None) -> None:
         if cache_planes < 1:
             raise ConfigError("cache_planes must be >= 1")
+        if idle_timeout is not None and idle_timeout <= 0:
+            raise ConfigError("idle_timeout must be positive")
+        # Fresh per process start: readers compare it across reconnects to
+        # tell "same server, new generation" from "restarted server whose
+        # generation counter may collide with the one I cached".
+        self.server_id = f"{os.getpid():x}-{os.urandom(4).hex()}"
+        self._idle_timeout = idle_timeout
         self._registry = LocalRegistry(
-            num_slots=num_slots, on_evict=self._on_evict
+            num_slots=num_slots, on_evict=self._on_evict,
+            generation_base=generation_base,
         )
         # slot -> (payload, digest, epoch); pinned while the slot is live
         self._payloads: Dict[int, Tuple[bytes, str, int]] = {}
@@ -165,7 +201,17 @@ class PlaneServer:
         }
         # reader -> digest -> fetch count (the fetched-exactly-once audit)
         self._fetches: Dict[str, Dict[str, int]] = {}
+        # connection-lifecycle counters, reported through the stats op
+        self._lifecycle: Dict[str, int] = {
+            "reaps": 0, "idle_closes": 0, "drains": 0,
+        }
+        # ops between recv and response; drain waits for this to hit zero
+        self._inflight = 0
+        self._inflight_cv = threading.Condition()
         self._conns: List[socket.socket] = []
+        # conn -> reader id, set by the hello op (each conn's own thread
+        # is the only writer of its entry)
+        self._conn_readers: Dict[socket.socket, str] = {}
         self._next_reader = 0
         self._closed = False
         self._listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
@@ -210,9 +256,11 @@ class PlaneServer:
             return {r: dict(d) for r, d in self._fetches.items()}
 
     def transfer_stats(self) -> Dict[str, int]:
-        """Delta/full fetch counters and actual-vs-full byte totals."""
+        """Delta/full fetch counters, byte totals, lifecycle counters."""
         with self._registry.lock:
-            return dict(self._transfer)
+            stats = dict(self._transfer)
+            stats.update(self._lifecycle)
+            return stats
 
     def cache_info(self) -> Dict[str, int]:
         """Delta-base history depth and current occupancy."""
@@ -222,18 +270,54 @@ class PlaneServer:
                 "cached": len(self._history),
             }
 
-    def close(self) -> None:
+    def close(self, drain: bool = True,
+              drain_timeout: float = 5.0) -> int:
+        """Stop serving; returns the final generation.
+
+        With ``drain`` (the default) the listener closes first — no new
+        connections — then in-flight ops are given ``drain_timeout``
+        seconds to finish before connections are severed, so a reader
+        mid-fetch gets its last frame instead of a mid-payload EOF.  The
+        returned generation is what a restarted server should pass as
+        ``generation_base`` so surviving readers observe a monotonic
+        counter.
+        """
         self._closed = True
+        # shutdown() before close(): close() alone does not wake a thread
+        # already blocked in accept(), and the kernel would keep the
+        # listening socket accepting on its behalf.
+        try:
+            self._listener.shutdown(socket.SHUT_RDWR)
+        except OSError:
+            pass
         try:
             self._listener.close()
         except OSError:  # pragma: no cover
             pass
+        if drain:
+            deadline = time.monotonic() + drain_timeout
+            with self._inflight_cv:
+                while self._inflight > 0:
+                    remaining = deadline - time.monotonic()
+                    if remaining <= 0:
+                        break
+                    self._inflight_cv.wait(remaining)
+            with self._registry.lock:
+                self._lifecycle["drains"] += 1
         for conn in list(self._conns):
+            # shutdown() wakes the connection's own thread out of a
+            # blocked recv and sends FIN; close() alone does neither.
+            try:
+                conn.shutdown(socket.SHUT_RDWR)
+            except OSError:
+                pass
             try:
                 conn.close()
             except OSError:  # pragma: no cover
                 pass
+        generation = self._registry.generation()
         self._registry.shutdown()
+        return generation
 
     # -- internals ----------------------------------------------------------
 
@@ -280,6 +364,12 @@ class PlaneServer:
                 conn, _addr = self._listener.accept()
             except OSError:
                 return
+            if self._closed:
+                try:
+                    conn.close()
+                except OSError:  # pragma: no cover
+                    pass
+                return
             try:
                 # small response frames (delta fetches, control messages)
                 # must not sit out a Nagle/delayed-ACK round trip
@@ -292,114 +382,53 @@ class PlaneServer:
                 name="repro-plane-conn", daemon=True,
             ).start()
 
+    def _enter_op(self) -> None:
+        with self._inflight_cv:
+            self._inflight += 1
+
+    def _exit_op(self) -> None:
+        with self._inflight_cv:
+            self._inflight -= 1
+            if self._inflight == 0:
+                self._inflight_cv.notify_all()
+
     def _serve_conn(self, conn: socket.socket) -> None:
-        reader = None
+        if self._idle_timeout is not None:
+            try:
+                conn.settimeout(self._idle_timeout)
+            except OSError:  # pragma: no cover
+                pass
         try:
             while True:
-                msg = _recv_msg(conn)
+                try:
+                    msg = _recv_msg(conn)
+                except socket.timeout:
+                    # Idle past the budget between ops: close the
+                    # connection (the reader reconnects transparently)
+                    # and return its refcount to the table.
+                    with self._registry.lock:
+                        self._lifecycle["idle_closes"] += 1
+                    return
                 if msg is None:
                     return
-                op = msg.get("op")
-                if op == "hello":
-                    reader = msg.get("reader")
-                    if reader is None:
-                        with self._registry.lock:
-                            reader = f"r{self._next_reader}"
-                            self._next_reader += 1
-                    _send_msg(conn, {
-                        "ok": True, "reader": reader,
-                        "generation": self._registry.generation(),
-                    })
-                elif op == "poll":
-                    _send_msg(conn, {
-                        "ok": True,
-                        "generation": self._registry.generation(),
-                    })
-                elif op == "acquire":
-                    got = self._registry.acquire(reader)
-                    if got is None:
-                        _send_msg(conn, {"ok": True, "empty": True})
-                    else:
-                        generation, slot, epoch, digest = got
-                        with self._registry.lock:
-                            nbytes = len(self._payloads[slot][0])
-                        _send_msg(conn, {
-                            "ok": True, "generation": generation,
-                            "slot": slot, "epoch": epoch,
-                            "digest": digest, "nbytes": nbytes,
-                        })
-                elif op == "release":
-                    self._registry.release(msg["slot"], reader)
-                    _send_msg(conn, {"ok": True})
-                elif op == "fetch":
-                    with self._registry.lock:
-                        entry = self._payloads.get(msg["slot"])
-                        if entry is not None:
-                            payload, digest, _epoch = entry
-                            self._record_fetch(reader, digest,
-                                               len(payload), len(payload),
-                                               delta=False)
-                    if entry is None:
-                        _send_msg(conn, {
-                            "ok": False,
-                            "error": f"slot {msg['slot']} holds no plane",
-                        })
-                    else:
-                        _send_msg(conn, {
-                            "ok": True, "digest": digest,
-                            "nbytes": len(payload),
-                        })
-                        _send_frame(conn, payload)
-                elif op == "fetch_delta":
-                    with self._registry.lock:
-                        entry = self._payloads.get(msg["slot"])
-                        frame, mode = None, "full"
-                        if entry is not None:
-                            payload, digest, _epoch = entry
-                            frame, mode = self._delta_or_full(
-                                msg.get("base"), payload, digest,
-                            )
-                            self._record_fetch(reader, digest,
-                                               len(frame), len(payload),
-                                               delta=(mode == "delta"))
-                    if entry is None:
-                        _send_msg(conn, {
-                            "ok": False,
-                            "error": f"slot {msg['slot']} holds no plane",
-                        })
-                    else:
-                        _send_msg(conn, {
-                            "ok": True, "mode": mode, "digest": digest,
-                            "nbytes": len(frame),
-                            "full_nbytes": len(payload),
-                        })
-                        _send_frame(conn, frame)
-                elif op == "stats":
-                    with self._registry.lock:
-                        _send_msg(conn, {
-                            "ok": True,
-                            "generation": self._registry.generation(),
-                            "slots": self._registry.slots(),
-                            "fetches": {
-                                r: sum(d.values())
-                                for r, d in self._fetches.items()
-                            },
-                            "cache": {
-                                "cache_planes": self._cache_planes,
-                                "cached": len(self._history),
-                            },
-                            "transfer": dict(self._transfer),
-                        })
-                else:
-                    _send_msg(conn, {"ok": False,
-                                     "error": f"unknown op {op!r}"})
+                self._enter_op()
+                try:
+                    self._handle_op(conn, msg)
+                finally:
+                    self._exit_op()
         except OSError:
             return
         finally:
             # A reader that died (or just disconnected) without releasing
             # is reaped here — its refcount goes back, possibly evicting a
             # retired plane.  ServeSession.reap() is idempotent on top.
-            if reader is not None:
+            reader = self._conn_readers.pop(conn, None)
+            if reader is not None and not self._closed:
+                with self._registry.lock:
+                    if self._registry.readers().get(reader) is not None:
+                        self._lifecycle["reaps"] += 1
+                    self._registry.release_reader(reader)
+            elif reader is not None:
                 self._registry.release_reader(reader)
             try:
                 conn.close()
@@ -409,6 +438,111 @@ class PlaneServer:
                 self._conns.remove(conn)
             except ValueError:  # pragma: no cover
                 pass
+
+    def _handle_op(self, conn: socket.socket, msg: dict) -> None:
+        reader = self._conn_readers.get(conn)
+        op = msg.get("op")
+        if op == "hello":
+            reader = msg.get("reader")
+            if reader is None:
+                with self._registry.lock:
+                    reader = f"r{self._next_reader}"
+                    self._next_reader += 1
+            self._conn_readers[conn] = reader
+            _send_msg(conn, {
+                "ok": True, "reader": reader,
+                "generation": self._registry.generation(),
+                "server_id": self.server_id,
+            })
+        elif op == "poll":
+            _send_msg(conn, {
+                "ok": True,
+                "generation": self._registry.generation(),
+            })
+        elif op == "acquire":
+            got = self._registry.acquire(reader)
+            if got is None:
+                _send_msg(conn, {"ok": True, "empty": True})
+            else:
+                generation, slot, epoch, digest = got
+                with self._registry.lock:
+                    nbytes = len(self._payloads[slot][0])
+                _send_msg(conn, {
+                    "ok": True, "generation": generation,
+                    "slot": slot, "epoch": epoch,
+                    "digest": digest, "nbytes": nbytes,
+                })
+        elif op == "release":
+            # Tolerant: a release replayed after a reconnect (the old
+            # connection's reap already returned the refcount) or landing
+            # on a restarted server must not drive a refcount negative.
+            if reader is not None:
+                self._registry.release_if_held(msg["slot"], reader)
+            _send_msg(conn, {"ok": True})
+        elif op == "fetch":
+            with self._registry.lock:
+                entry = self._payloads.get(msg["slot"])
+                if entry is not None:
+                    payload, digest, _epoch = entry
+                    self._record_fetch(reader, digest,
+                                       len(payload), len(payload),
+                                       delta=False)
+            if entry is None:
+                _send_msg(conn, {
+                    "ok": False,
+                    "error": f"slot {msg['slot']} holds no plane",
+                })
+            else:
+                _send_msg(conn, {
+                    "ok": True, "digest": digest,
+                    "nbytes": len(payload),
+                })
+                _send_frame(conn, payload)
+        elif op == "fetch_delta":
+            with self._registry.lock:
+                entry = self._payloads.get(msg["slot"])
+                frame, mode = None, "full"
+                if entry is not None:
+                    payload, digest, _epoch = entry
+                    frame, mode = self._delta_or_full(
+                        msg.get("base"), payload, digest,
+                    )
+                    self._record_fetch(reader, digest,
+                                       len(frame), len(payload),
+                                       delta=(mode == "delta"))
+            if entry is None:
+                _send_msg(conn, {
+                    "ok": False,
+                    "error": f"slot {msg['slot']} holds no plane",
+                })
+            else:
+                _send_msg(conn, {
+                    "ok": True, "mode": mode, "digest": digest,
+                    "nbytes": len(frame),
+                    "full_nbytes": len(payload),
+                })
+                _send_frame(conn, frame)
+        elif op == "stats":
+            with self._registry.lock:
+                _send_msg(conn, {
+                    "ok": True,
+                    "server_id": self.server_id,
+                    "generation": self._registry.generation(),
+                    "slots": self._registry.slots(),
+                    "fetches": {
+                        r: sum(d.values())
+                        for r, d in self._fetches.items()
+                    },
+                    "cache": {
+                        "cache_planes": self._cache_planes,
+                        "cached": len(self._history),
+                    },
+                    "transfer": dict(self._transfer),
+                    "lifecycle": dict(self._lifecycle),
+                })
+        else:
+            _send_msg(conn, {"ok": False,
+                             "error": f"unknown op {op!r}"})
 
 
 class NetTransport(PlaneTransport):
@@ -420,14 +554,33 @@ class NetTransport(PlaneTransport):
     def __init__(self, num_workers: int = 0, host: str = "127.0.0.1",
                  port: int = 0, cache_planes: int = DEFAULT_CACHE_PLANES,
                  num_slots: int = DEFAULT_SLOTS,
-                 delta: bool = False) -> None:
+                 delta: bool = False,
+                 retry: int = DEFAULT_RETRY,
+                 backoff: float = DEFAULT_BACKOFF,
+                 max_backoff: float = DEFAULT_MAX_BACKOFF,
+                 op_timeout: float = DEFAULT_OP_TIMEOUT,
+                 idle_timeout: Optional[float] = None,
+                 generation_base: int = 0,
+                 advertise: Optional[Tuple[str, int]] = None) -> None:
         if cache_planes < 1:
             raise ConfigError("cache_planes must be >= 1")
+        if retry < 0:
+            raise ConfigError("retry must be >= 0")
         self._server = PlaneServer(host=host, port=port, num_slots=num_slots,
-                                   cache_planes=cache_planes)
+                                   cache_planes=cache_planes,
+                                   generation_base=generation_base,
+                                   idle_timeout=idle_timeout)
         self._cache_planes = cache_planes
         self._delta = bool(delta)
         self._num_workers = num_workers
+        self._retry = retry
+        self._backoff = backoff
+        self._max_backoff = max_backoff
+        self._op_timeout = op_timeout
+        # When readers must dial something other than the bind address
+        # (a fault proxy in tests, a NAT'd endpoint in deployment),
+        # reader specs advertise that address instead.
+        self._advertise = advertise
         self._published: set = set()
 
     @property
@@ -457,9 +610,12 @@ class NetTransport(PlaneTransport):
         return self._delta
 
     def reader_spec(self) -> "TcpReaderSpec":
+        host, port = self._advertise or (self._server.host,
+                                         self._server.port)
         return TcpReaderSpec(
-            self._server.host, self._server.port, self._cache_planes,
-            delta=self._delta,
+            host, port, self._cache_planes,
+            delta=self._delta, retry=self._retry, backoff=self._backoff,
+            max_backoff=self._max_backoff, op_timeout=self._op_timeout,
         )
 
     def transfer_stats(self) -> Dict[str, int]:
@@ -480,19 +636,29 @@ class NetTransport(PlaneTransport):
 
 
 class TcpReaderSpec(ReaderSpec):
-    """Address + cache bound + delta flag; picklable across process starts."""
+    """Address + cache bound + delta/retry knobs; picklable across starts."""
 
     def __init__(self, host: str, port: int,
                  cache_planes: int = DEFAULT_CACHE_PLANES,
-                 delta: bool = False) -> None:
+                 delta: bool = False,
+                 retry: int = DEFAULT_RETRY,
+                 backoff: float = DEFAULT_BACKOFF,
+                 max_backoff: float = DEFAULT_MAX_BACKOFF,
+                 op_timeout: float = DEFAULT_OP_TIMEOUT) -> None:
         self.host = host
         self.port = port
         self.cache_planes = cache_planes
         self.delta = delta
+        self.retry = retry
+        self.backoff = backoff
+        self.max_backoff = max_backoff
+        self.op_timeout = op_timeout
 
     def connect(self, reader_id) -> "NetClient":
         return NetClient(self.host, self.port, reader_id=reader_id,
-                         cache_planes=self.cache_planes, delta=self.delta)
+                         cache_planes=self.cache_planes, delta=self.delta,
+                         timeout=self.op_timeout, retry=self.retry,
+                         backoff=self.backoff, max_backoff=self.max_backoff)
 
 
 class NetClient(PlaneClient):
@@ -510,6 +676,19 @@ class NetClient(PlaneClient):
     composed payload's digest is verified before the plane is decoded and
     swapped in.  Any delta failure (base evicted server-side, composition
     mismatch) falls back to a verified full fetch.
+
+    **Fault tolerance.**  Every public op runs inside a retry loop: a
+    transport fault (connection reset, peer EOF mid-frame, corrupt frame)
+    tears the socket down and the whole op — hello included — is replayed
+    against a fresh connection, up to ``retry`` reconnect attempts with
+    exponential jittered backoff.  Each op carries a deadline of
+    ``timeout`` seconds covering all its attempts and backoff sleeps; a
+    blown deadline raises :class:`DeadlineExceededError` and is *not*
+    retried.  The hello response carries the server's ``server_id``; when
+    it changes across a reconnect the client bumps an internal revision
+    that is folded into every generation token, so leases acquired from
+    the previous incarnation compare unequal even if the restarted
+    server's generation counter collides with the old one.
     """
 
     supports_delta = True
@@ -517,48 +696,252 @@ class NetClient(PlaneClient):
     def __init__(self, host: str, port: int, reader_id=None,
                  cache_planes: int = DEFAULT_CACHE_PLANES,
                  delta: bool = False,
-                 timeout: Optional[float] = 30.0) -> None:
-        try:
-            self._sock = socket.create_connection((host, port),
-                                                  timeout=timeout)
-        except OSError as exc:
-            raise ConfigError(
-                f"cannot reach plane server at {host}:{port}: {exc}"
-            ) from None
-        self._sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+                 timeout: Optional[float] = DEFAULT_OP_TIMEOUT,
+                 retry: int = DEFAULT_RETRY,
+                 backoff: float = DEFAULT_BACKOFF,
+                 max_backoff: float = DEFAULT_MAX_BACKOFF,
+                 clock: Callable[[], float] = time.monotonic,
+                 sleep: Callable[[float], None] = time.sleep,
+                 rng: Optional[random.Random] = None) -> None:
+        if retry < 0:
+            raise ConfigError("retry must be >= 0")
+        self._host, self._port = host, port
+        self._timeout = timeout
+        self._retry = retry
+        self._clock = clock
+        self._sleep = sleep
+        self._backoff = Backoff(initial=backoff, maximum=max_backoff,
+                                rng=rng)
+        self._sock: Optional[socket.socket] = None
+        self._server_id: Optional[str] = None
+        self._seen_hello = False
+        # bumped when a reconnect lands on a different server incarnation;
+        # folded into generation tokens so stale leases compare unequal
+        self._rev = 0
+        self.reader_id = reader_id
         # digest -> (materialized plane, raw payload bytes)
         self._cache: "OrderedDict[str, Tuple[object, bytes]]" = OrderedDict()
         self._cache_planes = cache_planes
         self._delta = bool(delta)
-        #: client-side mirror of the server's transfer accounting
+        #: client-side transfer accounting plus fault counters
         self.transfer: Dict[str, int] = {
             "delta_fetches": 0, "full_fetches": 0,
             "bytes_received": 0, "bytes_full": 0,
+            "retries": 0, "reconnects": 0, "server_restarts": 0,
+            "peer_closed": 0, "corrupt_frames": 0, "deadline_exceeded": 0,
         }
-        hello = self._call({"op": "hello", "reader": reader_id})
-        self.reader_id = hello["reader"]
-
-    def _call(self, msg: dict) -> dict:
+        deadline = self._deadline()
         try:
-            _send_msg(self._sock, msg)
-            resp = _recv_msg(self._sock)
-        except OSError as exc:
-            raise QueryError(f"plane server connection lost: {exc}") from None
-        if resp is None:
-            raise QueryError("plane server closed the connection")
+            self._connect(deadline)
+        except (OSError, QueryError) as exc:
+            raise ConfigError(
+                f"cannot reach plane server at {host}:{port}: {exc}"
+            ) from None
+
+    # -- retry machinery ----------------------------------------------------
+
+    def _deadline(self) -> Optional[float]:
+        return None if self._timeout is None else self._clock() + self._timeout
+
+    def _remaining(self, deadline: Optional[float], op: str) -> Optional[float]:
+        if deadline is None:
+            return None
+        remaining = deadline - self._clock()
+        if remaining <= 0:
+            raise DeadlineExceededError(
+                f"plane server op {op!r} exceeded its "
+                f"{self._timeout}s deadline"
+            )
+        return remaining
+
+    def _teardown(self) -> None:
+        sock, self._sock = self._sock, None
+        if sock is not None:
+            try:
+                sock.close()
+            except OSError:  # pragma: no cover
+                pass
+
+    def _connect(self, deadline: Optional[float],
+                 reconnect: bool = False) -> None:
+        remaining = self._remaining(deadline, "hello")
+        sock = socket.create_connection((self._host, self._port),
+                                        timeout=remaining)
+        try:
+            sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        except OSError:  # pragma: no cover
+            pass
+        self._sock = sock
+        resp = self._call_once({"op": "hello", "reader": self.reader_id},
+                               deadline)
+        self.reader_id = resp["reader"]
+        server_id = resp.get("server_id")
+        if not self._seen_hello:
+            self._seen_hello = True
+            self._server_id = server_id
+        elif server_id != self._server_id:
+            # A different incarnation answered at the same address: its
+            # registry (and delta-base history) started over.  Bump the
+            # revision so every lease from the old incarnation reads
+            # stale; cached payloads stay valid (they are digest-keyed).
+            self._server_id = server_id
+            self._rev += 1
+            self.transfer["server_restarts"] += 1
+        if reconnect:
+            self.transfer["reconnects"] += 1
+
+    def _retrying(self, op: str, fn: Callable[[Optional[float]], dict]):
+        """Run ``fn(deadline)`` replaying the whole op across reconnects.
+
+        Transient faults (reset, EOF, corrupt frame) tear the socket down
+        and replay after a backoff; :class:`DeadlineExceededError` is
+        terminal.  ``fn`` must be safe to replay from scratch — the
+        server reaps a disconnected reader's refcount, so a replayed
+        ``acquire`` never double-pins.
+        """
+        deadline = self._deadline()
+        attempt = 0
+        while True:
+            try:
+                if self._sock is None:
+                    self._connect(deadline, reconnect=True)
+                return fn(deadline)
+            except DeadlineExceededError:
+                self.transfer["deadline_exceeded"] += 1
+                self._teardown()
+                raise
+            except (OSError, PeerClosedError, CorruptFrameError) as exc:
+                self._teardown()
+                if isinstance(exc, PeerClosedError):
+                    self.transfer["peer_closed"] += 1
+                elif isinstance(exc, CorruptFrameError):
+                    self.transfer["corrupt_frames"] += 1
+                attempt += 1
+                if attempt > self._retry:
+                    raise QueryError(
+                        f"plane server op {op!r} failed after "
+                        f"{attempt} attempts: {exc}"
+                    ) from None
+                self.transfer["retries"] += 1
+                delay = self._backoff.delay(attempt - 1)
+                if deadline is not None:
+                    budget = deadline - self._clock()
+                    if budget <= delay:
+                        self.transfer["deadline_exceeded"] += 1
+                        raise DeadlineExceededError(
+                            f"plane server op {op!r}: deadline exhausted "
+                            f"after {attempt} attempts ({exc})"
+                        ) from None
+                if delay > 0:
+                    self._sleep(delay)
+
+    # -- deadline-aware framing ---------------------------------------------
+
+    def _settimeout(self, deadline: Optional[float], op: str) -> None:
+        self._sock.settimeout(self._remaining(deadline, op))
+
+    def _recv_exact_once(self, n: int, op: str, phase: str,
+                         deadline: Optional[float]) -> bytes:
+        chunks = []
+        need = n
+        while need:
+            self._settimeout(deadline, op)
+            try:
+                chunk = self._sock.recv(min(need, 1 << 20))
+            except socket.timeout:
+                raise DeadlineExceededError(
+                    f"plane server op {op!r} timed out mid-{phase} "
+                    f"({n - need}/{n} bytes received)"
+                ) from None
+            if not chunk:
+                raise PeerClosedError(
+                    f"plane server closed the connection mid-{phase} "
+                    f"during {op!r} ({n - need}/{n} bytes received)"
+                )
+            chunks.append(chunk)
+            need -= len(chunk)
+        return b"".join(chunks)
+
+    def _call_once(self, msg: dict, deadline: Optional[float]) -> dict:
+        op = msg.get("op")
+        self._settimeout(deadline, op)
+        body = json.dumps(msg, separators=(",", ":")).encode("ascii")
+        try:
+            self._sock.sendall(_LEN.pack(len(body)) + body)
+        except socket.timeout:
+            raise DeadlineExceededError(
+                f"plane server op {op!r} timed out mid-send"
+            ) from None
+        head = self._recv_exact_once(_LEN.size, op, "header", deadline)
+        (nbytes,) = _LEN.unpack(head)
+        if nbytes > _MAX_FRAME:
+            raise CorruptFrameError(
+                f"response frame for {op!r} announces {nbytes} bytes — "
+                "corrupt length prefix"
+            )
+        frame = self._recv_exact_once(nbytes, op, "response", deadline)
+        try:
+            resp = json.loads(frame.decode("ascii"))
+        except (UnicodeDecodeError, ValueError):
+            raise CorruptFrameError(
+                f"undecodable response frame for {op!r}"
+            ) from None
+        if not isinstance(resp, dict):
+            raise CorruptFrameError(
+                f"malformed response frame for {op!r}"
+            )
         if not resp.get("ok", False):
             raise QueryError(
-                f"plane server refused {msg.get('op')!r}: "
+                f"plane server refused {op!r}: "
                 f"{resp.get('error', 'unknown error')}"
             )
         return resp
 
-    def generation(self) -> int:
-        return self._call({"op": "poll"})["generation"]
+    def _recv_payload_frame(self, op: str, nbytes: int,
+                            deadline: Optional[float]) -> bytes:
+        """Receive the raw frame trailing a fetch response.
+
+        Failure modes are distinguished so the retry layer (and users)
+        can tell them apart: EOF or a short read mid-payload raises
+        :class:`PeerClosedError` naming the op and byte position, a
+        deadline overrun raises :class:`DeadlineExceededError`, and a
+        frame length disagreeing with the announced size raises
+        :class:`CorruptFrameError`.
+        """
+        head = self._recv_exact_once(_LEN.size, op, "payload header",
+                                     deadline)
+        (framelen,) = _LEN.unpack(head)
+        if framelen != nbytes:
+            raise CorruptFrameError(
+                f"{op!r} announced {nbytes} payload bytes but the frame "
+                f"header says {framelen}"
+            )
+        return self._recv_exact_once(nbytes, op, "payload", deadline)
+
+    # -- public ops ---------------------------------------------------------
+
+    @property
+    def server_id(self) -> Optional[str]:
+        """Incarnation token of the server last spoken to."""
+        return self._server_id
+
+    def generation(self) -> Tuple[int, int]:
+        """Opaque staleness token: ``(incarnation rev, generation)``.
+
+        Compared for equality against ``PlaneLease.generation``; the rev
+        component makes tokens from before and after a server restart
+        unequal even when the generation counters collide.
+        """
+        resp = self._retrying(
+            "poll", lambda d: self._call_once({"op": "poll"}, d)
+        )
+        return (self._rev, resp["generation"])
 
     def stats(self) -> dict:
         """Server-side slots + fetch counters (tests and dashboards)."""
-        return self._call({"op": "stats"})
+        return self._retrying(
+            "stats", lambda d: self._call_once({"op": "stats"}, d)
+        )
 
     def cached_payload(self, digest: str) -> Optional[bytes]:
         """Raw payload bytes cached under ``digest`` (tests, audits)."""
@@ -566,7 +949,10 @@ class NetClient(PlaneClient):
         return None if entry is None else entry[1]
 
     def acquire(self) -> Optional[PlaneLease]:
-        resp = self._call({"op": "acquire"})
+        return self._retrying("acquire", self._acquire_once)
+
+    def _acquire_once(self, deadline: Optional[float]) -> Optional[PlaneLease]:
+        resp = self._call_once({"op": "acquire"}, deadline)
         if resp.get("empty"):
             return None
         slot, digest = resp["slot"], resp["digest"]
@@ -575,9 +961,15 @@ class NetClient(PlaneClient):
             self._cache.move_to_end(digest)
         else:
             try:
-                entry = self._fetch(slot, digest)
+                entry = self._fetch(slot, digest, deadline)
+            except (OSError, PeerClosedError, CorruptFrameError,
+                    DeadlineExceededError):
+                # Connection-level failure: the server reaps our refcount
+                # when the socket dies, and the retry layer replays the
+                # whole acquire — do not try to release on a dead socket.
+                raise
             except Exception:
-                self._call({"op": "release", "slot": slot})
+                self._release_quiet(slot)
                 raise
             self._cache[digest] = entry
             while len(self._cache) > self._cache_planes:
@@ -585,33 +977,38 @@ class NetClient(PlaneClient):
         plane = entry[0]
 
         def release() -> None:
-            self._call({"op": "release", "slot": slot})
+            self._release_quiet(slot)
 
-        return PlaneLease(resp["generation"], slot, resp["epoch"], plane,
-                          release)
+        return PlaneLease((self._rev, resp["generation"]), slot,
+                          resp["epoch"], plane, release)
 
-    def _recv_payload_frame(self, nbytes: int) -> bytes:
+    def _release_quiet(self, slot: int) -> None:
+        # One attempt, no retry: the release op is tolerant server-side
+        # (release_if_held) and a dead connection reaps the refcount
+        # anyway, so failing loudly here would only mask the real error.
+        if self._sock is None:
+            return
         try:
-            frame = _recv_frame(self._sock)
-        except OSError as exc:
-            raise QueryError(f"plane fetch failed: {exc}") from None
-        if frame is None or len(frame) != nbytes:
-            raise QueryError("plane fetch was truncated")
-        return frame
+            self._call_once({"op": "release", "slot": slot},
+                            self._deadline())
+        except (OSError, QueryError):
+            self._teardown()
 
-    def _fetch(self, slot: int, digest: str) -> Tuple[object, bytes]:
+    def _fetch(self, slot: int, digest: str,
+               deadline: Optional[float]) -> Tuple[object, bytes]:
         """Materialize one payload: delta against the newest cached plane
         when enabled, else (or on any delta failure) a full fetch."""
         if self._delta and self._cache:
             base = next(reversed(self._cache))
-            payload = self._fetch_delta(slot, digest, base)
+            payload = self._fetch_delta(slot, digest, base, deadline)
             if payload is not None:
                 manifest, arrays = decode_plane(payload)
                 return materialize_plane(manifest, arrays), payload
-        header = self._call({"op": "fetch", "slot": slot})
-        payload = self._recv_payload_frame(header["nbytes"])
+        header = self._call_once({"op": "fetch", "slot": slot}, deadline)
+        payload = self._recv_payload_frame("fetch", header["nbytes"],
+                                           deadline)
         if plane_digest(payload) != digest:
-            raise QueryError(
+            raise CorruptFrameError(
                 f"plane digest mismatch for slot {slot}: payload corrupt"
             )
         self.transfer["full_fetches"] += 1
@@ -620,22 +1017,24 @@ class NetClient(PlaneClient):
         manifest, arrays = decode_plane(payload)
         return materialize_plane(manifest, arrays), payload
 
-    def _fetch_delta(self, slot: int, digest: str,
-                     base: str) -> Optional[bytes]:
+    def _fetch_delta(self, slot: int, digest: str, base: str,
+                     deadline: Optional[float]) -> Optional[bytes]:
         """One ``fetch_delta`` round-trip; None means "retry as full".
 
         The server answers ``mode="full"`` itself when the base fell out
-        of its history; a delta whose composition does not reproduce the
+        of its history (a restarted server always does — its history
+        starts empty); a delta whose composition does not reproduce the
         expected digest is discarded the same way — the full path is the
         always-correct fallback.
         """
-        header = self._call({"op": "fetch_delta", "slot": slot,
-                             "base": base})
-        frame = self._recv_payload_frame(header["nbytes"])
+        header = self._call_once({"op": "fetch_delta", "slot": slot,
+                                  "base": base}, deadline)
+        frame = self._recv_payload_frame("fetch_delta", header["nbytes"],
+                                         deadline)
         full_nbytes = header.get("full_nbytes", len(frame))
         if header.get("mode") != "delta":
             if plane_digest(frame) != digest:
-                raise QueryError(
+                raise CorruptFrameError(
                     f"plane digest mismatch for slot {slot}: payload corrupt"
                 )
             self.transfer["full_fetches"] += 1
@@ -656,10 +1055,7 @@ class NetClient(PlaneClient):
         return payload
 
     def close(self) -> None:
-        try:
-            self._sock.close()
-        except OSError:  # pragma: no cover
-            pass
+        self._teardown()
         self._cache.clear()
 
 
@@ -671,25 +1067,44 @@ class NetReader:
     :class:`PlaneServer`.  Queries run on the locally cached plane; call
     :meth:`refresh` (or any query, which refreshes implicitly) to pick up
     newly published epochs.
+
+    With ``degrade=True`` (the default) a reader that cannot reach the
+    server — retries exhausted, deadline blown, or the server restarted
+    and has not republished yet — keeps answering from its last-acquired
+    plane instead of raising, with :attr:`stale` set and a
+    ``stale_serves`` counter in :meth:`transfer_stats`; the next
+    successful refresh clears the flag.  ``degrade=False`` restores
+    strict behaviour: any unreachable-server condition raises.
     """
 
     def __init__(self, address: str, policy: str = "upper+lower",
                  cache_planes: int = DEFAULT_CACHE_PLANES,
-                 delta: bool = False) -> None:
+                 delta: bool = False,
+                 retry: int = DEFAULT_RETRY,
+                 backoff: float = DEFAULT_BACKOFF,
+                 max_backoff: float = DEFAULT_MAX_BACKOFF,
+                 timeout: Optional[float] = DEFAULT_OP_TIMEOUT,
+                 degrade: bool = True) -> None:
         host, _, port = address.rpartition(":")
         if not host or not port.isdigit():
             raise ConfigError(
                 f"attach address must be host:port, got {address!r}"
             )
         self._client = NetClient(host, int(port), cache_planes=cache_planes,
-                                 delta=delta)
+                                 delta=delta, retry=retry, backoff=backoff,
+                                 max_backoff=max_backoff, timeout=timeout)
         self._policy = policy
+        self._degrade = bool(degrade)
+        self._stale = False
+        self._stale_serves = 0
         self._lease: Optional[PlaneLease] = None
         self._engine = None
 
     def transfer_stats(self) -> Dict[str, int]:
-        """This reader's delta/full fetch counters and byte totals."""
-        return dict(self._client.transfer)
+        """This reader's fetch/fault counters and byte totals."""
+        stats = dict(self._client.transfer)
+        stats["stale_serves"] = self._stale_serves
+        return stats
 
     @property
     def epoch(self) -> Optional[int]:
@@ -698,29 +1113,59 @@ class NetReader:
         return None if lease is None else lease.epoch
 
     @property
+    def stale(self) -> bool:
+        """Whether answers are coming from a plane the server may have
+        superseded (degraded mode after an unreachable-server refresh)."""
+        return self._stale
+
+    @property
     def client(self) -> NetClient:
         return self._client
 
+    def _serve_stale(self, lease: PlaneLease) -> int:
+        self._stale = True
+        self._stale_serves += 1
+        return lease.epoch
+
     def refresh(self) -> Optional[int]:
-        """Adopt the newest published epoch; returns it (None when bare)."""
+        """Adopt the newest published epoch; returns it (None when bare).
+
+        In degraded mode an unreachable server leaves the last-acquired
+        plane in service (see :attr:`stale`) instead of raising.
+        """
         from repro.core.engine import PairwiseEngine
 
         lease = self._lease
-        if lease is not None and lease.generation == self._client.generation():
-            return lease.epoch
-        self._engine = None
-        if lease is not None:
-            self._lease = None
-            lease.release()
-        lease = self._client.acquire()
-        if lease is None:
+        try:
+            if (lease is not None
+                    and lease.generation == self._client.generation()):
+                self._stale = False
+                return lease.epoch
+            fresh = self._client.acquire()
+        except QueryError:
+            if self._degrade and lease is not None:
+                return self._serve_stale(lease)
+            raise
+        if fresh is None:
+            # Server reachable but bare — a restarted writer that has not
+            # republished yet.  Degraded readers keep the old plane.
+            if lease is not None:
+                if self._degrade:
+                    return self._serve_stale(lease)
+                self._lease, self._engine = None, None
+                lease.release()
             return None
-        self._lease = lease
+        # Acquire-before-release: the new engine is built while the old
+        # lease still pins its plane, so a query never sees a gap.
+        self._lease = fresh
         self._engine = PairwiseEngine(
-            PlaneGraph(lease.plane.csr), policy=self._policy,
-            dense=lease.plane,
+            PlaneGraph(fresh.plane.csr), policy=self._policy,
+            dense=fresh.plane,
         )
-        return lease.epoch
+        self._stale = False
+        if lease is not None:
+            lease.release()
+        return fresh.epoch
 
     def _current_engine(self):
         self.refresh()

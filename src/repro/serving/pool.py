@@ -38,6 +38,7 @@ import multiprocessing as mp
 import os
 import queue as queue_mod
 import time
+from multiprocessing.connection import wait as _mp_wait
 from typing import Dict, List, NamedTuple, Optional, Sequence, Tuple
 
 from repro.errors import ConfigError, QueryError
@@ -82,10 +83,15 @@ def _worker_main(worker_id: int, spec, requests, responses,
                  policy_value: str) -> None:
     """One reader process: acquire newest plane, drain requests forever.
 
-    ``requests`` is this worker's *private* queue: a shared request queue
-    would leave its reader lock held forever if a sibling were SIGKILLed
-    mid-``get``, deadlocking every survivor.  The writer round-robins over
-    the private queues of workers it still believes alive.
+    ``requests`` and ``responses`` are this worker's *private* queues: a
+    shared request queue would leave its reader lock held forever if a
+    sibling were SIGKILLed mid-``get``, and a shared response queue does
+    the symmetric thing — the queue's feeder thread holds its write-lock
+    (a cross-process semaphore) around ``send_bytes``, so a SIGKILL
+    landing inside that window leaves the lock acquired forever and every
+    survivor's feeder parks in ``wacquire()`` with answers it can never
+    deliver.  The writer round-robins over the private queues of workers
+    it still believes alive and multiplexes their response pipes.
     """
     from repro.core.engine import PairwiseEngine
     from repro.core.workspace import SearchWorkspace
@@ -93,6 +99,10 @@ def _worker_main(worker_id: int, spec, requests, responses,
 
     client = spec.connect(worker_id)
     held: Dict[str, Optional[tuple]] = {"entry": None}
+    # Degradation bookkeeping: when the transport cannot reach the writer
+    # (server down, retries exhausted) a worker that already holds a plane
+    # keeps answering from it instead of failing the request.
+    state = {"stale": False, "stale_serves": 0}
     # One workspace for the worker's whole life: each epoch's fresh engine
     # adopts it, so the request loop re-allocates O(V) search state only
     # when an epoch actually changes the plane's vertex count.
@@ -117,16 +127,31 @@ def _worker_main(worker_id: int, spec, requests, responses,
 
     def current() -> Optional[tuple]:
         entry = held["entry"]
-        if entry is not None and entry[0].generation == client.generation():
-            return entry
-        # Drop this frame's binding before detaching: a live reference
-        # here would keep the old plane's views alive through release()
-        # and defer the unmap to interpreter shutdown.
+        try:
+            if (entry is not None
+                    and entry[0].generation == client.generation()):
+                state["stale"] = False
+                return entry
+            lease = client.acquire()
+        except QueryError:
+            # Writer unreachable: serve the held plane, stale but live.
+            if entry is not None:
+                state["stale"] = True
+                state["stale_serves"] += 1
+                return entry
+            raise
+        if lease is None:
+            # Writer reachable but bare — a restarted server that has not
+            # republished yet.  Keep the held plane in service.
+            if entry is not None:
+                state["stale"] = True
+                state["stale_serves"] += 1
+                return entry
+            return None
+        # Acquire-before-detach: the new lease is pinned before the old
+        # plane's views are dropped, so there is never a served gap.
         entry = None
         detach()
-        lease = client.acquire()
-        if lease is None:
-            return None
         plane = lease.plane
         engine = PairwiseEngine(
             PlaneGraph(plane.csr), policy=policy_value, dense=plane,
@@ -134,6 +159,7 @@ def _worker_main(worker_id: int, spec, requests, responses,
         )
         entry = (lease, engine, plane)
         held["entry"] = entry
+        state["stale"] = False
         return entry
 
     try:
@@ -143,6 +169,14 @@ def _worker_main(worker_id: int, spec, requests, responses,
                 break
             req_id, verb, payload = req
             try:
+                if verb == "client_stats":
+                    stats = dict(getattr(client, "transfer", None) or {})
+                    stats["stale_serves"] = state["stale_serves"]
+                    stats["stale"] = state["stale"]
+                    responses.put(Response(
+                        req_id, worker_id, None, True, stats,
+                    ))
+                    continue
                 entry = current()
                 if entry is None:
                     raise QueryError("no epoch has been published yet")
@@ -165,37 +199,101 @@ def _worker_main(worker_id: int, spec, requests, responses,
 
 
 class WorkerPool:
-    """N reader processes fed from private request queues."""
+    """N reader processes fed from private request queues.
 
-    def __init__(self, ctx, workers: int, spec, policy_value: str) -> None:
+    Crashed workers can be :meth:`respawn`\\ ed — re-forked from the same
+    spec onto whatever epoch is current, with *fresh* request and response
+    queues (a SIGKILL mid-``get`` or mid-``put`` can leave a partial
+    pickle frame in the old pipe, desyncing any future reader of it).  A
+    :class:`~repro.serving.faults.RespawnBreaker` bounds the respawn rate:
+    once too many crashes land inside its window the pool degrades to the
+    survivors until the storm ages out.
+    """
+
+    def __init__(self, ctx, workers: int, spec, policy_value: str,
+                 breaker=None) -> None:
+        from repro.serving.faults import RespawnBreaker
+
         if workers < 1:
             raise ConfigError("workers must be >= 1")
+        self._ctx = ctx
+        self._spec = spec
+        self._policy_value = policy_value
+        self._breaker = breaker if breaker is not None else RespawnBreaker()
         self._requests = [ctx.Queue() for _ in range(workers)]
-        self._responses = ctx.Queue()
+        self._responses = [ctx.Queue() for _ in range(workers)]
         self._ids = itertools.count()
         self._rr = itertools.count()  # round-robin cursor over alive workers
-        self._procs = [
-            ctx.Process(
-                target=_worker_main,
-                args=(i, spec, self._requests[i], self._responses,
-                      policy_value),
-                daemon=True,
-                name=f"repro-serve-{i}",
-            )
-            for i in range(workers)
-        ]
+        #: completed respawns over the pool's lifetime
+        self.respawns = 0
+        # per-worker fork count; a request remembers the incarnation it
+        # was submitted to so lost requests are detectable after respawn
+        self._incarnations = [0] * workers
+        # crashes already charged to the breaker: (worker, incarnation)
+        self._charged: set = set()
+        # req_id -> (worker, incarnation) for unanswered requests
+        self._inflight: Dict[int, Tuple[int, int]] = {}
+        self._procs = [self._fork(i) for i in range(workers)]
         for proc in self._procs:
             proc.start()
+
+    def _fork(self, worker_id: int):
+        suffix = (f"-r{self._incarnations[worker_id]}"
+                  if self._incarnations[worker_id] else "")
+        return self._ctx.Process(
+            target=_worker_main,
+            args=(worker_id, self._spec, self._requests[worker_id],
+                  self._responses[worker_id], self._policy_value),
+            daemon=True,
+            name=f"repro-serve-{worker_id}{suffix}",
+        )
 
     @property
     def workers(self) -> int:
         return len(self._procs)
+
+    @property
+    def breaker(self):
+        """The respawn circuit breaker (stats and tests)."""
+        return self._breaker
 
     def alive(self) -> List[int]:
         return [i for i, p in enumerate(self._procs) if p.is_alive()]
 
     def dead(self) -> List[int]:
         return [i for i, p in enumerate(self._procs) if not p.is_alive()]
+
+    def respawn(self) -> List[int]:
+        """Re-fork dead workers onto the current epoch; returns their ids.
+
+        Each crash is charged to the breaker exactly once; while the
+        breaker is open dead workers stay dead (the pool serves from the
+        survivors) and are picked up by a later call once the crash burst
+        ages out of the window.
+        """
+        revived: List[int] = []
+        for worker_id, proc in enumerate(self._procs):
+            if proc.is_alive():
+                continue
+            crash = (worker_id, self._incarnations[worker_id])
+            if crash not in self._charged:
+                self._charged.add(crash)
+                self._breaker.record()
+            if not self._breaker.allow():
+                continue
+            proc.join(timeout=1)
+            self._requests[worker_id] = self._ctx.Queue()
+            # The response queue is replaced too: the crash may have left a
+            # partial pickle frame in the old pipe, and any complete-but-
+            # unread answers in it belong to the dead incarnation anyway
+            # (request_lost flags their requests for resubmission).
+            self._responses[worker_id] = self._ctx.Queue()
+            self._incarnations[worker_id] += 1
+            self._procs[worker_id] = self._fork(worker_id)
+            self._procs[worker_id].start()
+            self.respawns += 1
+            revived.append(worker_id)
+        return revived
 
     def submit(self, verb: str, payload) -> int:
         """Enqueue one request on an alive worker; returns its id."""
@@ -214,8 +312,26 @@ class WorkerPool:
         if not self._procs[worker_id].is_alive():
             raise QueryError(f"serving worker {worker_id} is dead")
         req_id = next(self._ids)
+        self._inflight[req_id] = (worker_id, self._incarnations[worker_id])
         self._requests[worker_id].put((req_id, verb, payload))
         return req_id
+
+    def request_lost(self, req_id: int) -> bool:
+        """Whether an unanswered request can no longer be answered.
+
+        True when the worker it was enqueued on has died or been
+        respawned since (a fresh incarnation never sees the old queue).
+        """
+        meta = self._inflight.get(req_id)
+        if meta is None:
+            return False  # already answered
+        worker_id, incarnation = meta
+        return (self._incarnations[worker_id] != incarnation
+                or not self._procs[worker_id].is_alive())
+
+    def forget(self, req_id: int) -> None:
+        """Drop in-flight bookkeeping for a request being abandoned."""
+        self._inflight.pop(req_id, None)
 
     def gather(self, req_ids: Sequence[int],
                timeout: Optional[float] = None) -> Dict[int, Response]:
@@ -234,13 +350,31 @@ class WorkerPool:
                 remaining = deadline - time.monotonic()
                 if remaining <= 0:
                     break
-            try:
-                resp = self._responses.get(timeout=remaining)
-            except queue_mod.Empty:
+            # Multiplex the alive workers' private response pipes.  Dead
+            # workers are skipped on purpose: their pipe may hold a partial
+            # pickle frame (SIGKILL mid-write) that would block a reader
+            # forever; respawn discards the queue and request_lost resends.
+            live = [(i, self._responses[i])
+                    for i, proc in enumerate(self._procs) if proc.is_alive()]
+            if not live:
                 break
-            if resp.req_id in wanted:
-                wanted.discard(resp.req_id)
-                got[resp.req_id] = resp
+            ready = _mp_wait([q._reader for _i, q in live], timeout=remaining)
+            if not ready:
+                break
+            for worker_id, q in live:
+                if q._reader not in ready:
+                    continue
+                if not self._procs[worker_id].is_alive():
+                    continue
+                while True:
+                    try:
+                        resp = q.get_nowait()
+                    except (queue_mod.Empty, EOFError, OSError):
+                        break
+                    self._inflight.pop(resp.req_id, None)
+                    if resp.req_id in wanted:
+                        wanted.discard(resp.req_id)
+                        got[resp.req_id] = resp
         return got
 
     def kill_worker(self, worker_id: int) -> None:
@@ -261,7 +395,7 @@ class WorkerPool:
             if proc.is_alive():  # pragma: no cover - stuck worker
                 proc.terminate()
                 proc.join(timeout=1)
-        for q in self._requests + [self._responses]:
+        for q in self._requests + self._responses:
             q.close()
             q.cancel_join_thread()
 
@@ -278,7 +412,11 @@ class ServeSession:
     def __init__(self, sgraph, workers: int = 2, store=None,
                  capacity: int = 4, name_prefix: Optional[str] = None,
                  transport: str = "shm", chunk: Optional[int] = None,
-                 delta: bool = False, **transport_options) -> None:
+                 delta: bool = False, respawn: bool = True,
+                 respawn_limit: int = 5,
+                 respawn_window: float = 30.0,
+                 **transport_options) -> None:
+        from repro.serving.faults import RespawnBreaker
         from repro.streaming.versioning import VersionedStore
 
         config = sgraph.config
@@ -318,9 +456,12 @@ class ServeSession:
         self._transport = make_transport(
             transport, self._prefix, workers, ctx, **transport_options
         )
+        self._respawn = bool(respawn)
         self._pool = WorkerPool(
             ctx, workers, self._transport.reader_spec(),
             policy_value=config.policy.value,
+            breaker=RespawnBreaker(max_failures=respawn_limit,
+                                   window_s=respawn_window),
         )
         # replay_latest covers stores whose current epoch was already
         # published before this session subscribed — the callback fires
@@ -395,13 +536,51 @@ class ServeSession:
             "workspace_hits": 0,
             "workspace_resets": 0,
             "touched_reset": 0,
+            "respawns": self._pool.respawns,
+            "breaker_open": self._pool.breaker.open,
+            "breaker_trips": self._pool.breaker.trips,
+            "retries": 0,
+            "reconnects": 0,
+            "server_restarts": 0,
+            "peer_closed": 0,
+            "corrupt_frames": 0,
+            "deadline_exceeded": 0,
+            "stale_serves": 0,
         }
         row.update(self._transport.transfer_stats())
+        for cs_row in self.client_stats():
+            for key in ("retries", "reconnects", "server_restarts",
+                        "peer_closed", "corrupt_frames",
+                        "deadline_exceeded", "stale_serves"):
+                row[key] += cs_row.get(key, 0)
         for ws_row in self.workspace_stats():
             for key in ("workspace_allocs", "workspace_hits",
                         "workspace_resets", "touched_reset"):
                 row[key] += ws_row[key]
         return row
+
+    def client_stats(self, timeout: float = 5.0) -> List[Dict[str, object]]:
+        """Per-worker transport fault counters and staleness state.
+
+        One row per alive worker: the reader client's ``transfer``
+        accounting (retries, reconnects, server restarts observed, frames
+        rejected) plus the worker's ``stale``/``stale_serves`` degradation
+        markers.  Workers that cannot answer are skipped.
+        """
+        rows: List[Dict[str, object]] = []
+        for worker_id in self._pool.alive():
+            try:
+                req_id = self._pool.submit_to(worker_id, "client_stats",
+                                              None)
+            except QueryError:
+                continue
+            resp = self._pool.gather([req_id], timeout=timeout).get(req_id)
+            if resp is None or not resp.ok:
+                continue
+            cs_row = dict(resp.payload)
+            cs_row["worker"] = worker_id
+            rows.append(cs_row)
+        return rows
 
     def workspace_stats(self,
                         timeout: float = 5.0) -> List[Dict[str, object]]:
@@ -455,21 +634,70 @@ class ServeSession:
 
     # -- queries ------------------------------------------------------------
 
-    def _one(self, verb: str, payload,
-             timeout: Optional[float] = None) -> Response:
+    def _pump(self, verb: str, payloads: Sequence,
+              timeout: Optional[float] = None) -> List[Response]:
+        """Fan one request per payload across the pool until all answer.
+
+        The resubmission loop that makes pool queries survive worker
+        crashes: requests lost to a dead worker are resubmitted — after
+        reaping its refcount and respawning it — as many times as it
+        takes, until every payload is answered, the deadline passes, or
+        no worker is left alive.  Pure reads are idempotent, so a lost
+        slice re-runs with no visible effect beyond latency.
+        """
         if self._pool.dead():
             self.reap()
-        req_id = self._pool.submit(verb, payload)
-        got = self._pool.gather([req_id], timeout=timeout)
-        if req_id not in got:
-            raise QueryError(
-                f"serving request timed out after {timeout}s "
-                f"(alive workers: {len(self._pool.alive())})"
-            )
-        resp = got[req_id]
-        if not resp.ok:
-            raise QueryError(f"worker {resp.worker_id} failed: {resp.payload}")
-        return resp
+        deadline = None if timeout is None else time.monotonic() + timeout
+        answered: Dict[int, Response] = {}
+        req_for: Dict[int, int] = {}  # req_id -> payload index
+
+        def submit(indices) -> None:
+            if not self._pool.alive():
+                raise QueryError(
+                    "all serving workers are dead and respawn could not "
+                    "revive any"
+                )
+            for idx in indices:
+                req_for[self._pool.submit(verb, payloads[idx])] = idx
+
+        submit(range(len(payloads)))
+        while len(answered) < len(payloads):
+            pending = [rid for rid, idx in req_for.items()
+                       if idx not in answered]
+            wave = self._pool.gather(pending, timeout=0.25)
+            for rid, resp in wave.items():
+                idx = req_for.pop(rid)
+                if idx in answered:
+                    continue  # a resubmitted twin already answered
+                if not resp.ok:
+                    raise QueryError(
+                        f"worker {resp.worker_id} failed: {resp.payload}"
+                    )
+                answered[idx] = resp
+            if wave:
+                continue
+            lost = sorted({
+                req_for[rid] for rid in pending
+                if self._pool.request_lost(rid)
+            } - set(answered))
+            if lost:
+                self.reap()
+                for rid in [r for r, idx in req_for.items() if idx in lost]:
+                    self._pool.forget(rid)
+                    del req_for[rid]
+                submit(lost)
+                continue
+            if deadline is not None and time.monotonic() >= deadline:
+                raise QueryError(
+                    f"serving request timed out after {timeout}s with "
+                    f"{len(payloads) - len(answered)} unanswered "
+                    f"(alive workers: {len(self._pool.alive())})"
+                )
+        return [answered[i] for i in range(len(payloads))]
+
+    def _one(self, verb: str, payload,
+             timeout: Optional[float] = None) -> Response:
+        return self._pump(verb, [payload], timeout)[0]
 
     def distance(self, source: int, target: int, tolerance: float = 0.0,
                  timeout: Optional[float] = None) -> Tuple[float, object, int]:
@@ -487,7 +715,9 @@ class ServeSession:
         pool: each worker answers one slice with the shared-search kernel
         and the partial results merge — values union disjointly, counters
         sum (:meth:`QueryStats.merge`), ``answered_by_index`` only when
-        every slice was.  All partials must come from one epoch; a publish
+        every slice was.  Slices lost to crashed workers are reaped,
+        respawned, and resubmitted until the batch completes or every
+        worker is dead.  All partials must come from one epoch; a publish
         racing the fan-out is retried once on the new epoch.
         """
         targets = list(targets)
@@ -509,49 +739,21 @@ class ServeSession:
         )
 
     def _distance_many_fanout(self, source, targets, chunk, timeout):
-        # One request per slice; merge below checks epoch agreement.
+        # One request per slice; _pump replays slices lost to worker
+        # crashes until all answer.  The merge checks epoch agreement.
         slices = [targets[i:i + chunk] for i in range(0, len(targets), chunk)]
-        req_ids = [
-            self._pool.submit("distance_many", (source, part))
-            for part in slices
-        ]
-        got = self._pool.gather(req_ids, timeout=timeout)
-        missing = [rid for rid in req_ids if rid not in got]
-        if missing and self._pool.dead():
-            # Reap crashed workers and resubmit the lost slices once —
-            # pure reads are idempotent.
-            self.reap()
-            redo = {
-                self._pool.submit(
-                    "distance_many", (source, slices[req_ids.index(rid)])
-                ): rid
-                for rid in missing
-            }
-            for new_id, resp in self._pool.gather(
-                list(redo), timeout=timeout
-            ).items():
-                got[redo[new_id]] = resp
-            missing = [rid for rid in req_ids if rid not in got]
-        if missing:
-            raise QueryError(
-                f"distance_many lost {len(missing)} slices "
-                f"(alive workers: {len(self._pool.alive())})"
-            )
-        for rid in req_ids:
-            if not got[rid].ok:
-                resp = got[rid]
-                raise QueryError(
-                    f"worker {resp.worker_id} failed: {resp.payload}"
-                )
-        epochs = {got[rid].epoch for rid in req_ids}
+        responses = self._pump(
+            "distance_many", [(source, part) for part in slices], timeout,
+        )
+        epochs = {resp.epoch for resp in responses}
         if len(epochs) > 1:
             return None  # publish raced the fan-out; caller retries
         from repro.core.stats import QueryStats
 
         values: Dict[int, float] = {}
         stats = QueryStats(answered_by_index=True)
-        for rid in req_ids:
-            part_values, part_stats = got[rid].payload
+        for resp in responses:
+            part_values, part_stats = resp.payload
             values.update(part_values)
             stats.merge(part_stats)
             stats.answered_by_index = (
@@ -577,71 +779,41 @@ class ServeSession:
         """Fan a batch of ``(s, t)`` pairs across the pool, chunked.
 
         Returns one ``(value, stats, epoch)`` per input pair, in input
-        order.  Chunks lost to a crashed worker are reaped and resubmitted
-        once (pure reads are idempotent); anything still missing raises.
+        order.  Chunks lost to crashed workers are reaped, respawned, and
+        resubmitted until the batch completes (pure reads are
+        idempotent); a batch nobody is left to answer raises.
         """
-        if self._pool.dead():
-            self.reap()
         if chunk_size is None:
             chunk_size = self._chunk
         chunks = [
             list(pairs[i:i + chunk_size])
             for i in range(0, len(pairs), chunk_size)
         ]
-        answered: Dict[int, list] = {}
-
-        def run(indices) -> None:
-            dead_at_start = set(self._pool.dead())
-            req_map = {
-                self._pool.submit("distance_batch", chunks[ci]): ci
-                for ci in indices
-            }
-            pending = set(req_map)
-            deadline = (None if timeout is None
-                        else time.monotonic() + timeout)
-            while pending:
-                # Short waves instead of one blocking gather: a worker that
-                # dies holding a chunk would otherwise hang us forever.
-                responses = self._pool.gather(list(pending), timeout=0.25)
-                for req_id, resp in responses.items():
-                    if not resp.ok:
-                        raise QueryError(
-                            f"worker {resp.worker_id} failed: {resp.payload}"
-                        )
-                    answered[req_map[req_id]] = [
-                        (value, stats, resp.epoch)
-                        for value, stats in resp.payload
-                    ]
-                pending -= set(responses)
-                if not responses:
-                    if set(self._pool.dead()) - dead_at_start:
-                        return  # lost chunks — caller reaps and resubmits
-                    if not self._pool.alive():
-                        return  # nobody left to answer
-                    if (deadline is not None
-                            and time.monotonic() >= deadline):
-                        return
-
-        run(range(len(chunks)))
-        missing = [ci for ci in range(len(chunks)) if ci not in answered]
-        if missing and self._pool.dead():
-            self.reap()
-            run(missing)
-            missing = [ci for ci in range(len(chunks)) if ci not in answered]
-        if missing:
-            raise QueryError(f"serving chunks {missing} were never answered")
+        responses = self._pump("distance_batch", chunks, timeout)
         out: List[tuple] = []
-        for ci in range(len(chunks)):
-            out.extend(answered[ci])
+        for resp in responses:
+            out.extend(
+                (value, stats, resp.epoch) for value, stats in resp.payload
+            )
         return out
 
     # -- lifecycle ----------------------------------------------------------
 
     def reap(self) -> List[int]:
-        """Return the refcounts of dead workers to the registry."""
+        """Return the refcounts of dead workers; respawn them if enabled.
+
+        Respawned workers re-fork from the same reader spec, connect, and
+        acquire whatever epoch is current (rebinding a fresh
+        :class:`~repro.core.workspace.SearchWorkspace`).  The pool's
+        circuit breaker keeps a crash loop from fork-bombing the writer:
+        past its failure budget the dead stay dead and the session serves
+        from the survivors.
+        """
         dead = self._pool.dead()
         for worker_id in dead:
             self._transport.release_reader(worker_id)
+        if self._respawn and dead:
+            self._pool.respawn()
         return dead
 
     def close(self) -> None:

@@ -115,15 +115,24 @@ class LocalRegistry(EpochRegistry):
     """
 
     def __init__(self, num_slots: int = DEFAULT_SLOTS,
-                 on_evict: Optional[Callable[[int, str], None]] = None) -> None:
+                 on_evict: Optional[Callable[[int, str], None]] = None,
+                 generation_base: int = 0) -> None:
         if num_slots < 1:
             raise ConfigError("num_slots must be >= 1")
+        if generation_base < 0:
+            raise ConfigError("generation_base must be >= 0")
         self._lock = threading.RLock()
         self._on_evict = on_evict
         # slot -> [ref, epoch, refcount, state]
         self._table: List[list] = [["", 0, 0, FREE] for _ in range(num_slots)]
-        self._generation = 0
+        # A restarted writer may seed the counter with the generation it
+        # persisted at shutdown, so readers that cached the old value keep
+        # seeing a monotonic sequence instead of a collision at zero.
+        self._generation = generation_base
         self._current = -1
+        # reader -> {slot: held count}.  A multiset, not a single slot: a
+        # reader moving to a new epoch acquires the new slot *before*
+        # releasing the old one, so it transiently holds two.
         self._reader_slots: dict = {}
 
     @property
@@ -153,9 +162,9 @@ class LocalRegistry(EpochRegistry):
             ]
 
     def readers(self) -> dict:
-        """Which slot each known reader currently holds (reap bookkeeping)."""
+        """Per-reader multiset of held slots (reap bookkeeping)."""
         with self._lock:
-            return dict(self._reader_slots)
+            return {r: dict(held) for r, held in self._reader_slots.items()}
 
     # -- writer protocol ----------------------------------------------------
 
@@ -182,11 +191,12 @@ class LocalRegistry(EpochRegistry):
 
     def release_reader(self, reader_id) -> None:
         with self._lock:
-            slot = self._reader_slots.pop(reader_id, -1)
-            if slot < 0:
+            held = self._reader_slots.pop(reader_id, None)
+            if not held:
                 return
-            self._table[slot][2] -= 1
-            self._maybe_evict(slot)
+            for slot, count in held.items():
+                self._table[slot][2] -= count
+                self._maybe_evict(slot)
 
     def shutdown(self) -> None:
         with self._lock:
@@ -209,17 +219,50 @@ class LocalRegistry(EpochRegistry):
             row = self._table[slot]
             row[2] += 1
             if reader_id is not None:
-                self._reader_slots[reader_id] = slot
+                held = self._reader_slots.setdefault(reader_id, {})
+                held[slot] = held.get(slot, 0) + 1
             return (self._generation, slot, row[1], row[0])
 
     def release(self, slot: int, reader_id=None) -> None:
         with self._lock:
             self._table[slot][2] -= 1
             if reader_id is not None:
-                self._reader_slots.pop(reader_id, None)
+                self._drop_held(reader_id, slot)
             self._maybe_evict(slot)
 
+    def release_if_held(self, slot: int, reader_id) -> bool:
+        """Release ``slot`` only if ``reader_id`` is recorded as holding it.
+
+        The TCP server uses this for release ops so a retried or replayed
+        release (a reconnecting reader whose refcount was already reaped
+        when its old connection dropped, or a release landing on a
+        restarted server that never saw the acquire) cannot drive a
+        refcount negative or free someone else's pin.  Returns whether a
+        reference was actually returned.
+        """
+        with self._lock:
+            if self._reader_slots.get(reader_id, {}).get(slot, 0) <= 0:
+                return False
+            self._drop_held(reader_id, slot)
+            self._table[slot][2] -= 1
+            self._maybe_evict(slot)
+            return True
+
     # -- internals ----------------------------------------------------------
+
+    def _drop_held(self, reader_id, slot: int) -> None:
+        # Lock held.  Remove one unit of ``slot`` from the reader's held
+        # multiset, pruning empty entries so ``readers()`` stays truthful.
+        held = self._reader_slots.get(reader_id)
+        if held is None:
+            return
+        count = held.get(slot, 0)
+        if count <= 1:
+            held.pop(slot, None)
+        else:
+            held[slot] = count - 1
+        if not held:
+            self._reader_slots.pop(reader_id, None)
 
     def _maybe_evict(self, slot: int) -> None:
         # Lock held.  RETIRED + refcount 0 means nobody can ever reach the

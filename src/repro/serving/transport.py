@@ -38,8 +38,10 @@ class PlaneLease:
 
     __slots__ = ("generation", "slot", "epoch", "plane", "_release")
 
-    def __init__(self, generation: int, slot: int, epoch: int, plane,
+    def __init__(self, generation, slot: int, epoch: int, plane,
                  release: Callable[[], None]) -> None:
+        # generation is the transport's opaque staleness token (int for
+        # shm, (rev, generation) tuple for tcp) — equality-compare only.
         self.generation = generation
         self.slot = slot
         self.epoch = epoch
@@ -75,9 +77,16 @@ class PlaneClient(ABC):
     supports_delta: bool = False
 
     @abstractmethod
-    def generation(self) -> int:
-        """Registry generation — compare with a held lease's to detect
-        staleness between requests."""
+    def generation(self):
+        """Opaque staleness token — compare *for equality* with a held
+        lease's ``generation`` to detect staleness between requests.
+
+        The shm client returns the board's bare generation counter; the
+        TCP client returns a ``(server incarnation rev, generation)``
+        tuple so a lease acquired before a server restart reads stale
+        even when the restarted registry's counter collides with the old
+        one.  Callers must not order or arithmetic these tokens.
+        """
 
     @abstractmethod
     def acquire(self) -> Optional[PlaneLease]:

@@ -754,8 +754,18 @@ class SGraph:
         fetch, falling back to a full frame when the reader's base left
         the server's ``cache_planes`` publish history.  TCP options pass
         through keyword arguments (``host=``, ``port=``,
-        ``cache_planes=``).  ``chunk`` overrides how many queries batched
-        verbs bundle per pool message.
+        ``cache_planes=``, ``retry=``, ``backoff=``, ``max_backoff=``,
+        ``op_timeout=``, ``idle_timeout=``).  ``chunk`` overrides how
+        many queries batched verbs bundle per pool message.
+
+        The session is fault tolerant by default: crashed workers are
+        reaped and re-forked onto the current epoch (``respawn=False``
+        disables this; ``respawn_limit``/``respawn_window`` tune the
+        circuit breaker that stops a crash loop), TCP readers reconnect
+        with jittered exponential backoff under per-op deadlines, and
+        workers that cannot reach the server keep answering from their
+        last-acquired plane (counted as ``stale_serves`` in
+        ``stats_row()``).
 
         Returns a :class:`repro.serving.ServeSession` (usable as a context
         manager); requires the distance family and a non-dict backend.

@@ -127,3 +127,4 @@ def random_mutation_sequence(graph, steps: int, seed: int):
         else:
             live.add(key)
             yield ("insert", key[0], key[1], rng.uniform(1.0, 5.0))
+

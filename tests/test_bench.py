@@ -138,6 +138,6 @@ class TestExperimentSmoke:
     def test_all_experiments_registry(self):
         from repro.bench.experiments import ALL_EXPERIMENTS
 
-        assert len(ALL_EXPERIMENTS) == 24
+        assert len(ALL_EXPERIMENTS) == 25
         assert all(title.split()[0].startswith("E")
                    for title in ALL_EXPERIMENTS)

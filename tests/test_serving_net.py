@@ -187,7 +187,10 @@ class TestReaderReaping:
         retired."""
         sg = _sgraph(66)
         verts = sorted(sg.graph.vertices())
-        with sg.serve(workers=2, transport="tcp") as session:
+        # respawn=False: this test pins down the reap/evict protocol for a
+        # permanently lost reader; respawn recovery has its own coverage.
+        with sg.serve(workers=2, transport="tcp",
+                      respawn=False) as session:
             registry = session.transport.registry
             # both workers answer (and therefore hold) the first epoch
             for _ in range(4):
@@ -365,20 +368,28 @@ class TestDeltaSync:
                 assert stats["transfer"]["delta_fetches"] >= 2
 
     def test_server_death_surfaces_as_query_error(self):
-        """A reader whose server dies mid-session gets a QueryError (the
-        CLI's clean-exit contract), never a raw ConnectionResetError."""
+        """A strict (degrade=False) reader whose server dies mid-session
+        gets a QueryError (the CLI's clean-exit contract), never a raw
+        ConnectionResetError; a degraded reader keeps serving the held
+        plane with the stale flag up instead."""
         from repro.errors import QueryError
 
         sg = _sgraph(74)
         session = ServeSession(sg, workers=1, transport="tcp")
         try:
-            reader = NetReader(session.transport.address)
+            reader = NetReader(session.transport.address, degrade=False,
+                               retry=1, backoff=0.01, max_backoff=0.02)
+            stale_reader = NetReader(session.transport.address,
+                                     retry=1, backoff=0.01,
+                                     max_backoff=0.02)
         except Exception:
             session.close()
             raise
         try:
             value, _stats, _epoch = reader.distance(0, 1)
             assert value >= 0
+            stale_value, _stats, stale_epoch = stale_reader.distance(0, 1)
+            assert stale_value == value
             session.close()
             with pytest.raises(QueryError):
                 # the probe may need a couple of calls before the socket
@@ -386,9 +397,15 @@ class TestDeltaSync:
                 for _ in range(10):
                     reader.distance(0, 1)
                     time.sleep(0.05)
+            # graceful degradation: same answer, from the held plane
+            value2, _stats, epoch2 = stale_reader.distance(0, 1)
+            assert value2 == stale_value and epoch2 == stale_epoch
+            assert stale_reader.stale
+            assert stale_reader.transfer_stats()["stale_serves"] >= 1
         finally:
-            try:
-                reader.close()
-            except Exception:
-                pass
+            for r in (reader, stale_reader):
+                try:
+                    r.close()
+                except Exception:
+                    pass
             session.close()

@@ -312,7 +312,9 @@ class TestWorkerCrash:
         sg = _sgraph(41)
         rng = random.Random(17)
         verts = sorted(sg.graph.vertices())
-        with sg.serve(workers=2) as session:
+        # respawn=False: this test pins the degraded-survivor protocol (a
+        # respawned worker would legitimately re-pin the current slot).
+        with sg.serve(workers=2, respawn=False) as session:
             prefix = session.prefix
             pairs = [tuple(rng.sample(verts, 2)) for _ in range(60)]
             before = session.map_distance(pairs)
